@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation: input-distribution sensitivity.  A core property of merge
+ * trees (and the reason the paper can model sort time with Equation 1
+ * at all) is that the datapath's timing is essentially
+ * data-independent: every stage streams all N records through the
+ * tree regardless of key distribution.  This study runs the
+ * cycle-accurate simulator across six distributions — uniform,
+ * pre-sorted, reverse-sorted, all-equal, few-distinct, nearly-sorted —
+ * and reports the spread, contrasting with the CPU comparators
+ * (radix/sample sort) whose time moves with the distribution.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "baseline/cpu_sorters.hpp"
+#include "bench_util.hpp"
+#include "common/random.hpp"
+#include "sorter/sim_sorter.hpp"
+
+namespace
+{
+
+using namespace bonsai;
+
+const char *
+distName(Distribution dist)
+{
+    switch (dist) {
+      case Distribution::UniformRandom: return "uniform";
+      case Distribution::Sorted: return "sorted";
+      case Distribution::Reverse: return "reverse";
+      case Distribution::AllEqual: return "all-equal";
+      case Distribution::FewDistinct: return "few-distinct";
+      case Distribution::NearlySorted: return "nearly-sorted";
+    }
+    return "?";
+}
+
+double
+cpuSeconds(void (*fn)(std::vector<Record> &), std::vector<Record> data)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn(data);
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bonsai;
+    bench::title("Ablation: input-distribution sensitivity "
+                 "(4 MB, AMT(8, 16) cycle-accurate vs CPU sorters)");
+
+    const std::size_t n = (4 * kMB) / 4;
+    std::printf("%-14s %14s %16s %16s\n", "Distribution",
+                "AMT cycles", "parallel radix", "sample sort");
+    bench::rule(64);
+
+    std::uint64_t min_cycles = ~0ULL, max_cycles = 0;
+    for (Distribution dist :
+         {Distribution::UniformRandom, Distribution::Sorted,
+          Distribution::Reverse, Distribution::AllEqual,
+          Distribution::FewDistinct, Distribution::NearlySorted}) {
+        sorter::SimSorter<Record>::Options o;
+        o.config = amt::AmtConfig{8, 16, 1, 1};
+        o.mem.bankBytesPerCycle = 32.0;
+        auto data = makeRecords(n, dist);
+        sorter::SimSorter<Record> sim(o);
+        const auto stats = sim.sort(data);
+        min_cycles = std::min(min_cycles, stats.totalCycles);
+        max_cycles = std::max(max_cycles, stats.totalCycles);
+
+        const auto sample = makeRecords(n, dist);
+        const double radix_s = cpuSeconds(
+            [](std::vector<Record> &d) {
+                baseline::parallelMsdRadixSort(d);
+            },
+            sample);
+        const double sort_s = cpuSeconds(
+            [](std::vector<Record> &d) {
+                baseline::sampleSortCpu(d);
+            },
+            sample);
+        std::printf("%-14s %14llu %13.1f ms %13.1f ms\n",
+                    distName(dist),
+                    static_cast<unsigned long long>(stats.totalCycles),
+                    radix_s * 1e3, sort_s * 1e3);
+    }
+    std::printf("\nAMT cycle spread across distributions: %.1f%% "
+                "(merge trees are data-oblivious;\nEquation 1 needs "
+                "no distribution term — radix/sample sorters vary "
+                "far more)\n",
+                100.0 * (max_cycles - min_cycles) / min_cycles);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation: the p vs ell trade-off (Sections II, VI-B2).  Paper
+ * observations reproduced: (1) at equal p, more leaves never hurts;
+ * (2) at equal ell, higher p helps until DRAM bandwidth saturates;
+ * (3) past saturation only ell reduces time; (4) the optimal
+ * single-AMT design has p just saturating bandwidth and maximal ell.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/optimizer.hpp"
+#include "core/platforms.hpp"
+#include "model/perf_model.hpp"
+
+int
+main()
+{
+    using namespace bonsai;
+    bench::title("Ablation: p vs ell trade-off (16 GB, 32 GB/s DRAM) "
+                 "- model latency in seconds");
+
+    model::BonsaiInputs in;
+    in.array = {16ULL * kGB / 4, 4};
+    in.hw = core::awsF1();
+
+    std::printf("%-8s", "p \\ ell");
+    for (unsigned ell : {16u, 32u, 64u, 128u, 256u})
+        std::printf("%10u", ell);
+    std::printf("\n");
+    bench::rule(58);
+    for (unsigned p : {4u, 8u, 16u, 32u}) {
+        std::printf("%-8u", p);
+        for (unsigned ell : {16u, 32u, 64u, 128u, 256u}) {
+            const auto est = model::latencyEstimate(
+                in, amt::AmtConfig{p, ell, 1, 1});
+            std::printf("%10.2f", est.latencySeconds);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nLUT cost of the same grid (Equation 8 + presorter "
+                "+ loader):\n");
+    std::printf("%-8s", "p \\ ell");
+    for (unsigned ell : {16u, 32u, 64u, 128u, 256u})
+        std::printf("%10u", ell);
+    std::printf("\n");
+    bench::rule(58);
+    for (unsigned p : {4u, 8u, 16u, 32u}) {
+        std::printf("%-8u", p);
+        for (unsigned ell : {16u, 32u, 64u, 128u, 256u}) {
+            const auto est = model::predictResources(
+                in, amt::AmtConfig{p, ell, 1, 1});
+            std::printf("%9lluk",
+                        static_cast<unsigned long long>(
+                            est.totalLut() / 1000));
+        }
+        std::printf("\n");
+    }
+
+    core::Optimizer opt(in);
+    const auto best = opt.best(core::Objective::Latency);
+    if (best) {
+        std::printf("\nBonsai's pick: AMT(%u, %u) — p saturates the "
+                    "32 GB/s DRAM, ell maximal within\nC_LUT/C_BRAM "
+                    "(paper Section VI-B2's rule).\n",
+                    best->config.p, best->config.ell);
+    }
+
+    // Routing congestion (Section VI-C1): the reason the as-built
+    // sorter stops at ell = 64.
+    std::printf("\nWith the routing-congestion frequency derate "
+                "(single tree):\n");
+    std::printf("%-8s %12s %14s %12s\n", "ell", "clock MHz",
+                "stages@16GB", "latency (s)");
+    bench::rule(50);
+    in.arch.routingDerate = true;
+    for (unsigned ell : {64u, 128u, 256u}) {
+        const auto est = model::latencyEstimate(
+            in, amt::AmtConfig{32, ell, 1, 1});
+        std::printf("%-8u %12.0f %14u %12.2f\n", ell,
+                    model::effectiveFrequency(in.arch, ell) / 1e6,
+                    est.stages, est.latencySeconds);
+    }
+    core::SearchSpace single_tree;
+    single_tree.maxUnroll = 1;
+    core::Optimizer derated(in, single_tree);
+    const auto built = derated.best(core::Objective::Latency);
+    if (built) {
+        std::printf("-> derated pick: AMT(%u, %u), the paper's "
+                    "as-implemented design (VI-C1)\n", built->config.p,
+                    built->config.ell);
+    }
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Live CPU microbenchmarks (google-benchmark): the in-process CPU
+ * baselines (std::sort, LSD radix, PARADIS-style parallel radix,
+ * sample sort) and the Bonsai behavioral engine on this machine.
+ * These ground the CPU side of the comparisons with measured numbers
+ * (the paper-scale CPU figures in Table I come from the publications;
+ * see bench_table1).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/cpu_sorters.hpp"
+#include "common/random.hpp"
+#include "sorter/behavioral.hpp"
+
+namespace
+{
+
+using namespace bonsai;
+
+std::vector<Record>
+workload(std::size_t n)
+{
+    return makeRecords(n, Distribution::UniformRandom, 1234);
+}
+
+void
+reportRate(benchmark::State &state, std::size_t n)
+{
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n *
+        sizeof(Record));
+}
+
+void
+BM_StdSort(benchmark::State &state)
+{
+    const auto input = workload(state.range(0));
+    for (auto _ : state) {
+        auto data = input;
+        baseline::stdSort(data);
+        benchmark::DoNotOptimize(data.data());
+    }
+    reportRate(state, input.size());
+}
+
+void
+BM_LsdRadix(benchmark::State &state)
+{
+    const auto input = workload(state.range(0));
+    for (auto _ : state) {
+        auto data = input;
+        baseline::lsdRadixSort(data);
+        benchmark::DoNotOptimize(data.data());
+    }
+    reportRate(state, input.size());
+}
+
+void
+BM_ParallelMsdRadix(benchmark::State &state)
+{
+    const auto input = workload(state.range(0));
+    for (auto _ : state) {
+        auto data = input;
+        baseline::parallelMsdRadixSort(data);
+        benchmark::DoNotOptimize(data.data());
+    }
+    reportRate(state, input.size());
+}
+
+void
+BM_SampleSort(benchmark::State &state)
+{
+    const auto input = workload(state.range(0));
+    for (auto _ : state) {
+        auto data = input;
+        baseline::sampleSortCpu(data);
+        benchmark::DoNotOptimize(data.data());
+    }
+    reportRate(state, input.size());
+}
+
+void
+BM_BonsaiBehavioral(benchmark::State &state)
+{
+    const auto input = workload(state.range(0));
+    sorter::BehavioralSorter<Record> sorter(
+        static_cast<unsigned>(state.range(1)), 16);
+    for (auto _ : state) {
+        auto data = input;
+        sorter.sort(data);
+        benchmark::DoNotOptimize(data.data());
+    }
+    reportRate(state, input.size());
+}
+
+BENCHMARK(BM_StdSort)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+BENCHMARK(BM_LsdRadix)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+BENCHMARK(BM_ParallelMsdRadix)
+    ->Arg(1 << 16)
+    ->Arg(1 << 20)
+    ->Arg(1 << 22);
+BENCHMARK(BM_SampleSort)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+BENCHMARK(BM_BonsaiBehavioral)
+    ->Args({1 << 20, 16})
+    ->Args({1 << 20, 64})
+    ->Args({1 << 20, 256})
+    ->Args({1 << 22, 256});
+
+} // namespace
+
+BENCHMARK_MAIN();

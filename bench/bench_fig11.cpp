@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 11 reproduction: the Bonsai DRAM sorter vs the best published
+ * CPU (PARADIS), GPU (HRS) and FPGA (SampleSort) sorters at 4-32 GB,
+ * in sorting time per GB.  Bonsai numbers come from the scalability
+ * model of the as-built AMT(32, 64) sorter at the measured 29 GB/s
+ * DRAM bandwidth; comparators are the papers' reported values.
+ */
+
+#include <cstdio>
+
+#include "baseline/published.hpp"
+#include "bench_util.hpp"
+#include "core/scalability.hpp"
+
+int
+main()
+{
+    using namespace bonsai;
+    bench::title("Figure 11: DRAM sorter vs state of the art "
+                 "(ms/GB, lower is better)");
+
+    core::ScalabilityParams params;
+    params.dramEll = 64;
+
+    std::printf("%-8s %10s %12s %10s %14s\n", "Input", "Bonsai",
+                "PARADIS", "HRS", "SampleSort");
+    bench::rule(60);
+    for (std::uint64_t gb : {4u, 8u, 16u, 32u}) {
+        const std::uint64_t bytes = gb * kGB;
+        const auto bonsai = core::scalabilityAt(params, bytes);
+        const auto cpu =
+            baseline::publishedMsPerGb("PARADIS [20]", bytes);
+        const auto gpu = baseline::publishedMsPerGb("HRS [18]", bytes);
+        const auto fpga =
+            baseline::publishedMsPerGb("SampleSort [19]", bytes);
+        std::printf("%-8s %10.0f %12.0f %10.0f %14.0f\n",
+                    bench::sizeLabel(bytes).c_str(), bonsai.msPerGb,
+                    *cpu, *gpu, *fpga);
+    }
+
+    std::printf("\nSpeedups at 32 GB (paper: 2.3x CPU, 3.7x FPGA, "
+                "1.3x GPU):\n");
+    const auto at32 = core::scalabilityAt(params, 32 * kGB);
+    std::printf("  vs PARADIS    : %.1fx\n",
+                *baseline::publishedMsPerGb("PARADIS [20]", 32 * kGB) /
+                    at32.msPerGb);
+    std::printf("  vs SampleSort : %.1fx\n",
+                *baseline::publishedMsPerGb("SampleSort [19]",
+                                            32 * kGB) /
+                    at32.msPerGb);
+    std::printf("  vs HRS        : %.1fx\n",
+                *baseline::publishedMsPerGb("HRS [18]", 32 * kGB) /
+                    at32.msPerGb);
+    return 0;
+}

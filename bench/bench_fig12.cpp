@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 12 reproduction: bandwidth-efficiency (sorter throughput /
+ * available off-chip memory bandwidth) at 16 GB input size.  Bonsai
+ * appears twice: on a single 8 GB/s DRAM bank ("Bonsai 8") and on the
+ * full 4-bank 32 GB/s system ("Bonsai 32"); comparator throughputs
+ * follow from Table I, their memory bandwidths are reconstructed from
+ * the respective publications (see EXPERIMENTS.md).
+ */
+
+#include <cstdio>
+
+#include "baseline/published.hpp"
+#include "bench_util.hpp"
+#include "core/scalability.hpp"
+
+int
+main()
+{
+    using namespace bonsai;
+    bench::title("Figure 12: bandwidth-efficiency at 16 GB "
+                 "(throughput / memory bandwidth)");
+
+    const std::uint64_t bytes = 16 * kGB;
+
+    std::printf("%-18s %14s %14s %12s\n", "System", "Thpt (GB/s)",
+                "Mem BW (GB/s)", "Efficiency");
+    bench::rule(62);
+
+    double best_other = 0.0;
+    for (const auto &entry : baseline::figure12Comparators()) {
+        std::printf("%-18s %14.2f %14.1f %12.3f\n",
+                    std::string(entry.name).c_str(),
+                    entry.throughput / kGB, entry.memBandwidth / kGB,
+                    entry.efficiency());
+        best_other = std::max(best_other, entry.efficiency());
+    }
+
+    // Bonsai 8: single bank; Bonsai 32: four banks (as-built ell=64).
+    core::ScalabilityParams b8;
+    b8.dramEll = 64;
+    b8.dramBandwidth = 8.0 * kGB;
+    const auto pt8 = core::scalabilityAt(b8, bytes);
+    const double thpt8 = static_cast<double>(bytes) / pt8.latencySeconds;
+    std::printf("%-18s %14.2f %14.1f %12.3f\n", "Bonsai 8",
+                thpt8 / kGB, 8.0, thpt8 / (8.0 * kGB));
+
+    core::ScalabilityParams b32;
+    b32.dramEll = 64; // measured 29 of 32 GB/s nominal
+    const auto pt32 = core::scalabilityAt(b32, bytes);
+    const double thpt32 =
+        static_cast<double>(bytes) / pt32.latencySeconds;
+    std::printf("%-18s %14.2f %14.1f %12.3f\n", "Bonsai 32",
+                thpt32 / kGB, 32.0, thpt32 / (32.0 * kGB));
+
+    std::printf("\nBonsai 8 vs best comparator: %.1fx "
+                "(paper: 3.3x)\n",
+                thpt8 / (8.0 * kGB) / best_other);
+    std::printf("Bonsai 32 vs best comparator: %.1fx "
+                "(paper: 2.25x)\n",
+                thpt32 / (32.0 * kGB) / best_other);
+    return 0;
+}

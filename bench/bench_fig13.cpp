@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 13 reproduction: latency per GB of the latency-optimized
+ * Bonsai sorters across 0.5 GB - 8192 TB, with the four annotated
+ * latency steps: the extra DRAM stage above 1 GB, the switch to the
+ * SSD sorter above DRAM capacity, and the extra phase-2 round trips
+ * above chunk*256 and chunk*256^2 bytes.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/scalability.hpp"
+
+int
+main()
+{
+    using namespace bonsai;
+    bench::title("Figure 13: latency per GB, 0.5 GB - 8192 TB "
+                 "(latency-optimized sorters)");
+
+    core::ScalabilityParams params; // model-optimal ell = 256 DRAM tree
+
+    std::printf("%-10s %10s %8s  %-44s\n", "Input", "ms/GB", "stages",
+                "regime");
+    bench::rule(78);
+
+    double prev = 0.0;
+    for (std::uint64_t bytes = kGB / 2; bytes <= 16384 * kTB;
+         bytes *= 2) {
+        const auto pt = core::scalabilityAt(params, bytes);
+        const char *marker = "";
+        if (prev > 0.0 && pt.msPerGb > prev * 1.01)
+            marker = "  <-- latency step";
+        std::printf("%-10s %10.1f %8u  %-40s%s\n",
+                    bench::sizeLabel(bytes).c_str(), pt.msPerGb,
+                    pt.stages, pt.regime.c_str(), marker);
+        prev = pt.msPerGb;
+    }
+
+    std::printf(
+        "\nPaper's annotated steps: extra stage @2 GB (1.33x), switch "
+        "to SSD @128 GB,\nextra phase-2 stage @32 TB (1.5x), extra "
+        "phase-2 stage @8192 TB (1.33x).\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figures 8 & 9 reproduction: sorting time per GB of various AMT
+ * configurations on the AWS F1 memory system ("measured" = the
+ * stage-level streaming simulation of the datapath) against the
+ * performance model's prediction (Equation 1), for input sizes
+ * 512 MB - 16 GB.  The paper's claim: all measurements within 10% of
+ * the model.  A cycle-accurate cross-check at 16 MB closes the loop
+ * between the two simulators.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/random.hpp"
+#include "core/platforms.hpp"
+#include "model/perf_model.hpp"
+#include "sorter/sim_sorter.hpp"
+#include "sorter/stage_sim.hpp"
+
+namespace
+{
+
+using namespace bonsai;
+
+void
+sweep(const char *name, const std::vector<amt::AmtConfig> &configs)
+{
+    bench::title(name);
+    std::printf("%-14s", "Input");
+    for (const auto &cfg : configs)
+        std::printf("  AMT(%2u,%3u) meas/pred", cfg.p, cfg.ell);
+    std::printf("\n");
+    bench::rule(14 + 24 * static_cast<int>(configs.size()));
+
+    for (std::uint64_t bytes :
+         {512 * kMB, 1 * kGB, 2 * kGB, 4 * kGB, 8 * kGB, 16 * kGB}) {
+        std::printf("%-14s", bench::sizeLabel(bytes).c_str());
+        for (const auto &cfg : configs) {
+            sorter::StageSimulator::Options o;
+            o.config = cfg;
+            o.array = {bytes / 4, 4};
+            o.betaDram = core::awsF1().betaDram;
+            const auto measured = sorter::StageSimulator(o).run();
+
+            model::BonsaiInputs in;
+            in.array = o.array;
+            in.hw = core::awsF1();
+            const auto predicted = model::latencyEstimate(in, cfg);
+
+            const double m_ms =
+                toMs(measured.totalSeconds) / toGb(bytes);
+            const double p_ms =
+                toMs(predicted.latencySeconds) / toGb(bytes);
+            std::printf("   %8.1f / %-8.1f ", m_ms, p_ms);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nmax |measured - predicted| / predicted: ");
+    double worst = 0.0;
+    for (std::uint64_t bytes :
+         {512 * kMB, 1 * kGB, 2 * kGB, 4 * kGB, 8 * kGB, 16 * kGB}) {
+        for (const auto &cfg : configs) {
+            sorter::StageSimulator::Options o;
+            o.config = cfg;
+            o.array = {bytes / 4, 4};
+            o.betaDram = core::awsF1().betaDram;
+            const double measured =
+                sorter::StageSimulator(o).run().totalSeconds;
+            model::BonsaiInputs in;
+            in.array = o.array;
+            in.hw = core::awsF1();
+            const double predicted =
+                model::latencyEstimate(in, cfg).latencySeconds;
+            const double err =
+                std::abs(measured - predicted) / predicted;
+            if (err > worst)
+                worst = err;
+        }
+    }
+    std::printf("%.1f%% (paper bound: 10%%)\n\n", 100.0 * worst);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bonsai;
+
+    sweep("Figure 8: sort time per GB, AMT(p, 64) sweep "
+          "(ms/GB, measured/predicted)",
+          {amt::AmtConfig{4, 64, 1, 1}, amt::AmtConfig{8, 64, 1, 1},
+           amt::AmtConfig{16, 64, 1, 1},
+           amt::AmtConfig{32, 64, 1, 1}});
+
+    sweep("Figure 9: sort time per GB, AMT(32, ell) sweep "
+          "(ms/GB, measured/predicted)",
+          {amt::AmtConfig{32, 16, 1, 1}, amt::AmtConfig{32, 64, 1, 1},
+           amt::AmtConfig{32, 128, 1, 1},
+           amt::AmtConfig{32, 256, 1, 1}});
+
+    // Cycle-accurate cross-check at 16 MB (4M records): the
+    // cycle-level datapath vs the same model.
+    bench::title("Cycle-accurate cross-check (16 MB, AMT(8, 64))");
+    const std::size_t n = (16 * kMB) / 4;
+    sorter::SimSorter<Record>::Options o;
+    o.config = amt::AmtConfig{8, 64, 1, 1};
+    o.mem.numBanks = 4;
+    o.mem.bankBytesPerCycle = 32.0;
+    o.batchBytes = 1024;
+    auto data = makeRecords(n, Distribution::UniformRandom);
+    sorter::SimSorter<Record> sim(o);
+    const auto stats = sim.sort(data);
+    model::BonsaiInputs in;
+    in.array = {n, 4};
+    in.hw = core::awsF1();
+    const auto predicted =
+        model::latencyEstimate(in, amt::AmtConfig{8, 64, 1, 1});
+    const double measured_s = stats.seconds(250e6);
+    std::printf("cycle-sim: %.3f ms   model: %.3f ms   error: %.1f%%\n",
+                toMs(measured_s), toMs(predicted.latencySeconds),
+                100.0 * std::abs(measured_s -
+                                 predicted.latencySeconds) /
+                    predicted.latencySeconds);
+    return 0;
+}

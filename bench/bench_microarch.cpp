@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Microarchitecture study (paper Section V): per-stage behaviour of
+ * the cycle-accurate datapath — memory-channel utilization, merger
+ * stalls, merge-group counts — for the DRAM sorter shape at MB scale,
+ * plus the per-block latency/throughput characteristics of the
+ * building blocks.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/random.hpp"
+#include "hw/bitonic.hpp"
+#include "sorter/sim_sorter.hpp"
+
+int
+main()
+{
+    using namespace bonsai;
+    bench::title("Microarchitecture study (Section V)");
+
+    std::printf("Building-block pipeline characteristics:\n");
+    std::printf("%-12s %10s %14s %12s\n", "Element", "latency",
+                "CAS units", "CAS (16-srt)");
+    bench::rule(52);
+    for (unsigned k = 1; k <= 32; k *= 2) {
+        std::printf("%2u-merger    %7llu cyc %14llu %12s\n", k,
+                    static_cast<unsigned long long>(
+                        hw::mergerLatency(k)),
+                    static_cast<unsigned long long>(
+                        2 * hw::casCountHalfMerger(k)),
+                    k == 16 ? "80" : "");
+    }
+
+    std::printf("\nPer-stage datapath behaviour "
+                "(8 MB, AMT(8, 64), 4 banks x 32 B/cycle):\n");
+    sorter::SimSorter<Record>::Options o;
+    o.config = amt::AmtConfig{8, 64, 1, 1};
+    o.mem.numBanks = 4;
+    o.mem.bankBytesPerCycle = 32.0;
+    o.batchBytes = 1024;
+    const std::size_t n = (8 * kMB) / 4;
+    auto data = makeRecords(n, Distribution::UniformRandom);
+    sorter::SimSorter<Record> sim(o);
+    const auto stats = sim.sort(data);
+    if (!stats.completed) {
+        std::printf("simulation did not complete\n");
+        return 1;
+    }
+
+    std::printf("%-8s %10s %10s %10s %12s %10s\n", "Stage", "cycles",
+                "groups", "read MB", "read util", "stalls/merger");
+    bench::rule(66);
+    const unsigned mergers = o.config.ell - 1;
+    for (std::size_t s = 0; s < stats.stageReports.size(); ++s) {
+        const auto &report = stats.stageReports[s];
+        std::printf("%-8zu %10llu %10llu %10.2f %11.1f%% %10.0f\n", s,
+                    static_cast<unsigned long long>(report.cycles),
+                    static_cast<unsigned long long>(report.groups),
+                    report.bytesRead / 1e6,
+                    100.0 * report.readUtilization,
+                    static_cast<double>(report.mergerStallCycles) /
+                        mergers);
+    }
+    std::printf("\ntotal: %llu cycles = %.3f ms at 250 MHz "
+                "(%u stages, %.1f MB moved each way)\n",
+                static_cast<unsigned long long>(stats.totalCycles),
+                toMs(stats.seconds(250e6)), stats.stages,
+                stats.bytesRead / 1e6 / stats.stages);
+    std::printf("\nNote: the tree is compute-bound here (8 rec/cycle "
+                "= 32 B/cycle of the 128 B/cycle\nchannel), so read "
+                "utilization sits near 25%% by design; "
+                "bandwidth-bound\nconfigurations reach ~100%% (see "
+                "cross-validation tests).\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table I reproduction: sorting time in ms per GB across 4 GB - 100 TB
+ * for the best published CPU/GPU/FPGA sorters (reported values) vs
+ * Bonsai (regenerated from the scalability model of the as-built
+ * sorters: ell = 64 DRAM sorter at the measured 29 GB/s, two-phase
+ * SSD sorter at 8 GB/s).
+ */
+
+#include <cstdio>
+
+#include "baseline/published.hpp"
+#include "bench_util.hpp"
+#include "core/scalability.hpp"
+
+int
+main()
+{
+    using namespace bonsai;
+    bench::title(
+        "Table I: sorting time in ms per GB (lower is better)");
+
+    std::printf("%-28s", "System");
+    for (std::uint64_t bytes : baseline::kTable1Sizes)
+        std::printf("%9s", bench::sizeLabel(bytes).c_str());
+    std::printf("\n");
+    bench::rule(28 + 9 * 9);
+
+    for (const auto &row : baseline::kTable1Rows) {
+        std::printf("%-5s %-22s", std::string(row.platform).c_str(),
+                    std::string(row.name).c_str());
+        for (double v : row.msPerGb) {
+            if (v == baseline::kNoResult)
+                std::printf("%9s", "-");
+            else
+                std::printf("%9.0f", v);
+        }
+        std::printf("\n");
+    }
+
+    // Bonsai row, regenerated from the model of the deployed sorters.
+    core::ScalabilityParams params;
+    params.dramEll = 64; // as-implemented DRAM sorter (Section VI-C1)
+    std::printf("%-5s %-22s", "FPGA", "Bonsai (this work)");
+    for (std::size_t i = 0; i < baseline::kTable1Sizes.size(); ++i) {
+        const auto pt =
+            core::scalabilityAt(params, baseline::kTable1Sizes[i]);
+        std::printf("%9.0f", pt.msPerGb);
+    }
+    std::printf("\n");
+    std::printf("%-5s %-22s", "", "  (paper reported)");
+    for (double v : baseline::kTable1Bonsai)
+        std::printf("%9.0f", v);
+    std::printf("\n\n");
+
+    // Headline: speedup of Bonsai over the best alternative per size.
+    std::printf("Speedup over best published alternative per column:\n");
+    for (std::size_t i = 0; i < baseline::kTable1Sizes.size(); ++i) {
+        double best = 1e300;
+        std::string_view who = "-";
+        for (const auto &row : baseline::kTable1Rows) {
+            if (row.msPerGb[i] != baseline::kNoResult &&
+                row.msPerGb[i] < best) {
+                best = row.msPerGb[i];
+                who = row.name;
+            }
+        }
+        const auto pt = core::scalabilityAt(
+            params, baseline::kTable1Sizes[i]);
+        std::printf("  %-7s: %5.2fx vs %s\n",
+                    bench::sizeLabel(baseline::kTable1Sizes[i]).c_str(),
+                    best / pt.msPerGb, std::string(who).c_str());
+    }
+    return 0;
+}

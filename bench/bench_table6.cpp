@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Table VI reproduction: LUT utilization and throughput of the AMT
+ * building blocks (mergers, couplers, FIFO) for 32-bit and 128-bit
+ * records — the paper's synthesized values next to our structural
+ * estimates, plus the paper's record-width observation (a 128-bit
+ * 4-merger matches a 32-bit 16-merger's throughput at ~50% the LUTs).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "amt/synth_estimate.hpp"
+#include "bench_util.hpp"
+#include "model/merger_costs.hpp"
+
+namespace
+{
+
+using namespace bonsai;
+
+void
+widthTable(const char *name, const model::MergerCosts &table,
+           unsigned bits)
+{
+    bench::title(name);
+    const double gbps_per_rec = 250e6 * (bits / 8) / 1e9;
+    std::printf("%-12s %10s %12s %12s %8s\n", "Element", "Thpt",
+                "paper LUT", "struct LUT", "err");
+    bench::rule(60);
+    for (unsigned k = 1; k <= 32; k *= 2) {
+        const std::uint64_t est = amt::mergerStructLut(k, bits);
+        std::printf("%2u-merger    %6.0fGB/s %12llu %12llu %7.1f%%\n",
+                    k, k * gbps_per_rec,
+                    static_cast<unsigned long long>(table.mergerLut(k)),
+                    static_cast<unsigned long long>(est),
+                    100.0 *
+                        (static_cast<double>(est) -
+                         static_cast<double>(table.mergerLut(k))) /
+                        static_cast<double>(table.mergerLut(k)));
+    }
+    for (unsigned k = 2; k <= 32; k *= 2) {
+        const std::uint64_t est = amt::couplerStructLut(k, bits);
+        std::printf("%2u-coupler   %6.0fGB/s %12llu %12llu %7.1f%%\n",
+                    k, k * gbps_per_rec / 2,
+                    static_cast<unsigned long long>(
+                        table.couplerLut(k)),
+                    static_cast<unsigned long long>(est),
+                    100.0 *
+                        (static_cast<double>(est) -
+                         static_cast<double>(table.couplerLut(k))) /
+                        static_cast<double>(table.couplerLut(k)));
+    }
+    std::printf("FIFO         %6.0fGB/s %12llu %12llu %7.1f%%\n",
+                gbps_per_rec,
+                static_cast<unsigned long long>(table.fifo),
+                static_cast<unsigned long long>(
+                    amt::fifoStructLut(bits)),
+                100.0 *
+                    (static_cast<double>(amt::fifoStructLut(bits)) -
+                     static_cast<double>(table.fifo)) /
+                    static_cast<double>(table.fifo));
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bonsai;
+    widthTable("Table VI(a): building blocks, 32-bit records",
+               model::costs32(), 32);
+    widthTable("Table VI(b): building blocks, 128-bit records",
+               model::costs128(), 128);
+
+    bench::title("Record-width scalability (Section VI-F)");
+    const auto t32 = model::costs32();
+    const auto t128 = model::costs128();
+    std::printf("32-bit 16-merger: 16 GB/s at %llu LUTs\n",
+                static_cast<unsigned long long>(t32.mergerLut(16)));
+    std::printf("128-bit 4-merger: 16 GB/s at %llu LUTs (%.0f%% of "
+                "the 32-bit design; paper: ~50%% less logic)\n",
+                static_cast<unsigned long long>(t128.mergerLut(4)),
+                100.0 * t128.mergerLut(4) / t32.mergerLut(16));
+    return 0;
+}

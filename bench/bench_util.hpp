@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries: fixed
+ * column formatting and byte-size labels so every bench prints rows
+ * in the paper's layout.
+ */
+
+#ifndef BONSAI_BENCH_BENCH_UTIL_HPP
+#define BONSAI_BENCH_BENCH_UTIL_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace bonsai::bench
+{
+
+/** "4 GB", "2 TB", "512 MB" style labels. */
+inline std::string
+sizeLabel(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= kTB && bytes % kTB == 0)
+        std::snprintf(buf, sizeof(buf), "%llu TB",
+                      static_cast<unsigned long long>(bytes / kTB));
+    else if (bytes >= 10 * kTB)
+        std::snprintf(buf, sizeof(buf), "%.0f TB",
+                      static_cast<double>(bytes) /
+                          static_cast<double>(kTB));
+    else if (bytes >= kGB && bytes % kGB == 0)
+        std::snprintf(buf, sizeof(buf), "%llu GB",
+                      static_cast<unsigned long long>(bytes / kGB));
+    else if (bytes >= kMB)
+        std::snprintf(buf, sizeof(buf), "%llu MB",
+                      static_cast<unsigned long long>(bytes / kMB));
+    else
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+/** Print a header rule. */
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Print a centered bench title block. */
+inline void
+title(const char *text)
+{
+    rule();
+    std::printf("%s\n", text);
+    rule();
+}
+
+} // namespace bonsai::bench
+
+#endif // BONSAI_BENCH_BENCH_UTIL_HPP

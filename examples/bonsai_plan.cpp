@@ -1,0 +1,156 @@
+/**
+ * @file
+ * bonsai_plan: the optimizer as a command-line planning tool — what a
+ * datacenter engineer would run to configure the FPGA for their
+ * workload and hardware (the adaptivity story of Section I).
+ *
+ *   bonsai_plan [--size BYTES|4GB|2TB] [--record BYTES]
+ *               [--bw GB/s] [--io GB/s] [--dram BYTES]
+ *               [--lut N] [--objective latency|throughput]
+ *               [--derate] [--top N]
+ *
+ * Prints the ranked feasible AMT configurations with modeled
+ * latency/throughput and resource budgets, or the two-phase SSD plan
+ * when the array exceeds DRAM capacity.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bonsai.hpp"
+
+namespace
+{
+
+using namespace bonsai;
+
+std::uint64_t
+parseSize(const char *text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    std::string suffix = end ? end : "";
+    if (suffix == "KB" || suffix == "kb")
+        return static_cast<std::uint64_t>(value * kKB);
+    if (suffix == "MB" || suffix == "mb")
+        return static_cast<std::uint64_t>(value * kMB);
+    if (suffix == "GB" || suffix == "gb")
+        return static_cast<std::uint64_t>(value * kGB);
+    if (suffix == "TB" || suffix == "tb")
+        return static_cast<std::uint64_t>(value * kTB);
+    return static_cast<std::uint64_t>(value);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t bytes = 16 * kGB;
+    std::uint64_t record_bytes = 4;
+    model::HardwareParams hw = core::awsF1();
+    core::SsdParams ssd;
+    bool throughput = false;
+    bool derate = false;
+    std::size_t top = 5;
+
+    for (int i = 1; i < argc; ++i) {
+        const auto is = [&](const char *flag) {
+            return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+        };
+        if (is("--size"))
+            bytes = parseSize(argv[++i]);
+        else if (is("--record"))
+            record_bytes = std::strtoull(argv[++i], nullptr, 10);
+        else if (is("--bw"))
+            hw.betaDram = std::strtod(argv[++i], nullptr) * kGB;
+        else if (is("--io"))
+            hw.betaIo = std::strtod(argv[++i], nullptr) * kGB;
+        else if (is("--dram"))
+            hw.cDram = parseSize(argv[++i]);
+        else if (is("--lut"))
+            hw.cLut = std::strtoull(argv[++i], nullptr, 10);
+        else if (is("--top"))
+            top = std::strtoull(argv[++i], nullptr, 10);
+        else if (is("--objective"))
+            throughput = std::strcmp(argv[++i], "throughput") == 0;
+        else if (std::strcmp(argv[i], "--derate") == 0)
+            derate = true;
+        else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf(
+                "usage: bonsai_plan [--size 16GB] [--record 4] "
+                "[--bw 32] [--io 8]\n"
+                "                   [--dram 64GB] [--lut 862128] "
+                "[--objective latency|throughput]\n"
+                "                   [--derate] [--top 5]\n");
+            return 0;
+        }
+    }
+
+    std::printf("Bonsai plan for %.2f GB of %llu-byte records, "
+                "%.0f GB/s DRAM, %.0f GB/s I/O\n\n",
+                toGb(bytes),
+                static_cast<unsigned long long>(record_bytes),
+                hw.betaDram / kGB, hw.betaIo / kGB);
+
+    if (bytes > hw.cDram) {
+        std::printf("Array exceeds DRAM capacity (%.0f GB): "
+                    "two-phase SSD plan (Section IV-C)\n",
+                    toGb(hw.cDram));
+        model::ArrayParams array{bytes / record_bytes, record_bytes};
+        const auto plan =
+            core::planSsdSort(array, hw, {}, ssd);
+        if (!plan) {
+            std::printf("no feasible plan\n");
+            return 1;
+        }
+        std::printf("  phase 1: %u x pipelined AMT(%u, %u) at "
+                    "%.2f GB/s -> %.1f s\n",
+                    plan->phase1.config.lambdaPipe,
+                    plan->phase1.config.p, plan->phase1.config.ell,
+                    plan->phase1.perf.throughputBytesPerSec / kGB,
+                    plan->phase1Seconds);
+        std::printf("  reprogram: %.1f s\n", plan->reprogramSeconds);
+        std::printf("  phase 2: AMT(%u, %u), %u round trip(s) -> "
+                    "%.1f s\n",
+                    plan->phase2.config.p, plan->phase2.config.ell,
+                    plan->phase2Stages, plan->phase2Seconds);
+        std::printf("  total: %.1f s (%.2f GB/s)\n",
+                    plan->totalSeconds(),
+                    toGb(bytes) / plan->totalSeconds());
+        return 0;
+    }
+
+    model::BonsaiInputs in;
+    in.array = {bytes / record_bytes, record_bytes};
+    in.hw = hw;
+    in.arch.routingDerate = derate;
+    core::Optimizer opt(in);
+    const auto objective = throughput ? core::Objective::Throughput
+                                      : core::Objective::Latency;
+    const auto ranked = opt.rank(objective);
+    if (ranked.empty()) {
+        std::printf("no feasible configuration fits the chip\n");
+        return 1;
+    }
+    std::printf("%-4s %-24s %8s %12s %12s %8s %6s\n", "#", "config",
+                "stages", "latency(s)", "thpt(GB/s)", "LUT", "b");
+    for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+        const auto &rc = ranked[i];
+        char cfg[48];
+        std::snprintf(cfg, sizeof(cfg), "%ux AMT(%u,%u)%s",
+                      rc.config.lambdaUnrl, rc.config.p,
+                      rc.config.ell,
+                      rc.config.lambdaPipe > 1 ? " piped" : "");
+        std::printf("%-4zu %-24s %8u %12.3f %12.2f %7lluk %6llu\n",
+                    i + 1, cfg, rc.perf.stages,
+                    rc.perf.latencySeconds,
+                    rc.perf.throughputBytesPerSec / kGB,
+                    static_cast<unsigned long long>(
+                        rc.resources.totalLut() / 1000),
+                    static_cast<unsigned long long>(rc.batchBytes));
+    }
+    return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every table/figure of the paper.
+# Usage: scripts/run_all.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt | tail -3
+
+echo "== benches (tables & figures) =="
+for b in "$BUILD"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo; echo "################ $(basename "$b") ################"
+    "$b"
+done 2>&1 | tee bench_output.txt | grep '################'
+
+echo
+echo "Full outputs: test_output.txt, bench_output.txt"

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * AMT configuration parameters (paper Table III).
+ */
+
+#ifndef BONSAI_AMT_CONFIG_HPP
+#define BONSAI_AMT_CONFIG_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace bonsai::amt
+{
+
+/**
+ * An adaptive-merge-tree configuration: AMT(p, ell) replicated
+ * lambda_pipe deep (pipelining) and lambda_unrl wide (unrolling).
+ */
+struct AmtConfig
+{
+    unsigned p = 1;          ///< records output per cycle (power of 2)
+    unsigned ell = 2;        ///< number of input leaves (power of 2, >=2)
+    unsigned lambdaUnrl = 1; ///< independent parallel trees
+    unsigned lambdaPipe = 1; ///< trees chained stage-to-stage
+
+    friend bool operator==(const AmtConfig &, const AmtConfig &) = default;
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const AmtConfig &c)
+{
+    os << "AMT(" << c.p << ", " << c.ell << ")";
+    if (c.lambdaUnrl > 1)
+        os << " x" << c.lambdaUnrl << " unrolled";
+    if (c.lambdaPipe > 1)
+        os << " x" << c.lambdaPipe << " pipelined";
+    return os;
+}
+
+/** Total number of trees instantiated by a configuration. */
+constexpr unsigned
+treeCount(const AmtConfig &c)
+{
+    return c.lambdaUnrl * c.lambdaPipe;
+}
+
+} // namespace bonsai::amt
+
+#endif // BONSAI_AMT_CONFIG_HPP

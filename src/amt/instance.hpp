@@ -1,0 +1,161 @@
+/**
+ * @file
+ * AmtInstance: instantiates the simulation components of one AMT(p, ell)
+ * — mergers, couplers and inter-level FIFOs — wired per the structural
+ * TreeShape, exposing the ell leaf buffers (filled by a DataLoader) and
+ * the root output FIFO (drained by a DataWriter).
+ */
+
+#ifndef BONSAI_AMT_INSTANCE_HPP
+#define BONSAI_AMT_INSTANCE_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "amt/tree.hpp"
+#include "hw/coupler.hpp"
+#include "hw/merger.hpp"
+#include "sim/engine.hpp"
+#include "sim/fifo.hpp"
+
+namespace bonsai::amt
+{
+
+template <typename RecordT>
+class AmtInstance
+{
+  public:
+    /**
+     * @param shape Structural description from makeTreeShape().
+     * @param leaf_capacity Leaf buffer capacity in records (the data
+     *        loader's double-buffered batch store, Section V-A).
+     */
+    AmtInstance(std::string name, const TreeShape &shape,
+                std::size_t leaf_capacity)
+        : shape_(shape)
+    {
+        const unsigned depth_count =
+            static_cast<unsigned>(shape.levels.size());
+
+        // Leaf buffers, one per tree input.
+        for (unsigned i = 0; i < shape.ell; ++i)
+            leafBuffers_.push_back(makeFifo(leaf_capacity));
+
+        // Build levels deepest-first so children exist before parents.
+        // outputs[d][i] is the output FIFO of merger (d, i).
+        std::vector<std::vector<sim::Fifo<RecordT> *>> outputs(
+            depth_count);
+        for (unsigned d = depth_count; d-- > 0;) {
+            const TreeLevel &lvl = shape.levels[d];
+            outputs[d].resize(lvl.nodeCount);
+            for (unsigned i = 0; i < lvl.nodeCount; ++i) {
+                sim::Fifo<RecordT> *in_a = nullptr;
+                sim::Fifo<RecordT> *in_b = nullptr;
+                if (d + 1 == depth_count) {
+                    in_a = leafBuffers_[2 * i];
+                    in_b = leafBuffers_[2 * i + 1];
+                } else {
+                    // Couplers adapt each child's stream to this
+                    // merger's input port.
+                    const TreeLevel &child = shape.levels[d + 1];
+                    in_a = makeFifo(fifoDepth(lvl.mergerK));
+                    in_b = makeFifo(fifoDepth(lvl.mergerK));
+                    addCoupler(name, d, 2 * i, child.mergerK,
+                               *outputs[d + 1][2 * i], *in_a);
+                    addCoupler(name, d, 2 * i + 1, child.mergerK,
+                               *outputs[d + 1][2 * i + 1], *in_b);
+                }
+                outputs[d][i] = makeFifo(fifoDepth(lvl.mergerK));
+                auto merger = std::make_unique<hw::Merger<RecordT>>(
+                    name + ".m" + std::to_string(d) + "_" +
+                        std::to_string(i),
+                    lvl.mergerK, *in_a, *in_b, *outputs[d][i]);
+                mergers_.push_back(merger.get());
+                components_.push_back(std::move(merger));
+            }
+        }
+        root_ = outputs[0][0];
+    }
+
+    /** The ell leaf input buffers, left to right. */
+    const std::vector<sim::Fifo<RecordT> *> &
+    leafBuffers() const
+    {
+        return leafBuffers_;
+    }
+
+    /** Root output FIFO (runs separated by terminals). */
+    sim::Fifo<RecordT> &rootOutput() { return *root_; }
+
+    /** Register every component with the engine. */
+    void
+    registerWith(sim::SimEngine &engine)
+    {
+        for (auto &c : components_)
+            engine.add(c.get());
+    }
+
+    /** True when no merger holds buffered state. */
+    bool
+    quiescent() const
+    {
+        for (const auto &c : components_) {
+            if (!c->quiescent())
+                return false;
+        }
+        return true;
+    }
+
+    /** Sum of merger stall cycles (starvation / back-pressure). */
+    std::uint64_t
+    totalStallCycles() const
+    {
+        std::uint64_t total = 0;
+        for (const hw::Merger<RecordT> *m : mergers_)
+            total += m->stallCycles();
+        return total;
+    }
+
+    const TreeShape &shape() const { return shape_; }
+
+  private:
+    static std::size_t
+    fifoDepth(unsigned k)
+    {
+        // Sized to absorb head-selection jitter: a burst of same-side
+        // picks drains one input port at twice its refill rate, so
+        // several tuples of slack are needed to keep the parent fed.
+        return 16 * (static_cast<std::size_t>(k) + 1);
+    }
+
+    sim::Fifo<RecordT> *
+    makeFifo(std::size_t capacity)
+    {
+        fifos_.push_back(
+            std::make_unique<sim::Fifo<RecordT>>(capacity));
+        return fifos_.back().get();
+    }
+
+    void
+    addCoupler(const std::string &name, unsigned depth, unsigned idx,
+               unsigned width, sim::Fifo<RecordT> &from,
+               sim::Fifo<RecordT> &to)
+    {
+        components_.push_back(std::make_unique<hw::Coupler<RecordT>>(
+            name + ".c" + std::to_string(depth) + "_" +
+                std::to_string(idx),
+            width, from, to));
+    }
+
+    TreeShape shape_;
+    std::vector<std::unique_ptr<sim::Fifo<RecordT>>> fifos_;
+    std::vector<std::unique_ptr<sim::Component>> components_;
+    std::vector<hw::Merger<RecordT> *> mergers_;
+    std::vector<sim::Fifo<RecordT> *> leafBuffers_;
+    sim::Fifo<RecordT> *root_ = nullptr;
+};
+
+} // namespace bonsai::amt
+
+#endif // BONSAI_AMT_INSTANCE_HPP

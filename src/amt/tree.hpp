@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Structural description of a single AMT(p, ell): which mergers and
+ * couplers exist at which tree level (paper Section II, Figure 1).
+ * Shared by the simulator builder and the resource estimator so both
+ * views of the hardware agree by construction.
+ */
+
+#ifndef BONSAI_AMT_TREE_HPP
+#define BONSAI_AMT_TREE_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "hw/bitonic.hpp"
+
+namespace bonsai::amt
+{
+
+/** One tree level of identical mergers. */
+struct TreeLevel
+{
+    unsigned depth = 0;       ///< 0 = root
+    unsigned nodeCount = 1;   ///< 2^depth mergers
+    unsigned mergerK = 1;     ///< k of each merger: max(p / 2^depth, 1)
+    /** Width of each coupler feeding this level's merger inputs
+     *  (the child's throughput); equals mergerK for the paper's
+     *  k-coupler naming.  1 at the deepest levels, where the "coupler"
+     *  degenerates to a plain FIFO. */
+    unsigned couplerK = 1;
+};
+
+/** Structural tree description for AMT(p, ell). */
+struct TreeShape
+{
+    unsigned p = 1;
+    unsigned ell = 2;
+    std::vector<TreeLevel> levels; ///< root first
+
+    /** Number of mergers in the tree (= ell - 1). */
+    unsigned
+    mergerCount() const
+    {
+        unsigned n = 0;
+        for (const TreeLevel &lvl : levels)
+            n += lvl.nodeCount;
+        return n;
+    }
+};
+
+/**
+ * Build the level structure of AMT(p, ell): a p-merger at the root,
+ * p/2-mergers as its children, and so on, floored at 1-mergers; the
+ * binary tree has log2(ell) levels.
+ */
+inline TreeShape
+makeTreeShape(unsigned p, unsigned ell)
+{
+    assert(hw::isPow2(p));
+    assert(hw::isPow2(ell) && ell >= 2);
+    TreeShape shape;
+    shape.p = p;
+    shape.ell = ell;
+    const unsigned depth_count = hw::log2Exact(ell);
+    for (unsigned d = 0; d < depth_count; ++d) {
+        TreeLevel lvl;
+        lvl.depth = d;
+        lvl.nodeCount = 1u << d;
+        lvl.mergerK = std::max(p >> d, 1u);
+        lvl.couplerK = lvl.mergerK;
+        shape.levels.push_back(lvl);
+    }
+    return shape;
+}
+
+} // namespace bonsai::amt
+
+#endif // BONSAI_AMT_TREE_HPP

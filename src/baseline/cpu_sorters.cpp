@@ -1,0 +1,228 @@
+#include "baseline/cpu_sorters.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <thread>
+
+#include "common/random.hpp"
+
+namespace bonsai::baseline
+{
+
+namespace
+{
+
+constexpr unsigned kRadixBits = 8;
+constexpr std::size_t kRadixBuckets = 1u << kRadixBits;
+constexpr std::size_t kInsertionCutoff = 64;
+
+unsigned
+resolveThreads(unsigned threads)
+{
+    if (threads != 0)
+        return threads;
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 4 : hc;
+}
+
+/** Run f(t) on @p threads workers and join. */
+template <typename F>
+void
+parallelFor(unsigned threads, F &&f)
+{
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers.emplace_back(f, t);
+    for (std::thread &w : workers)
+        w.join();
+}
+
+std::uint8_t
+digit(std::uint64_t key, unsigned byte)
+{
+    return static_cast<std::uint8_t>(key >> (8 * byte));
+}
+
+/** In-place MSD radix pass on [lo, hi) keyed by @p byte (American
+ *  flag distribution), then recurse per bucket. */
+void
+msdRadixRecurse(Record *data, std::size_t n, unsigned byte,
+                unsigned depth_threads)
+{
+    if (n <= kInsertionCutoff) {
+        std::sort(data, data + n);
+        return;
+    }
+
+    std::array<std::size_t, kRadixBuckets> count{};
+    for (std::size_t i = 0; i < n; ++i)
+        ++count[digit(data[i].key, byte)];
+
+    std::array<std::size_t, kRadixBuckets> head{};
+    std::array<std::size_t, kRadixBuckets> tail{};
+    std::size_t sum = 0;
+    for (std::size_t b = 0; b < kRadixBuckets; ++b) {
+        head[b] = sum;
+        sum += count[b];
+        tail[b] = sum;
+    }
+
+    // Cycle-chasing in-place permutation.
+    std::array<std::size_t, kRadixBuckets> cursor = head;
+    for (std::size_t b = 0; b < kRadixBuckets; ++b) {
+        while (cursor[b] < tail[b]) {
+            Record rec = data[cursor[b]];
+            std::uint8_t d = digit(rec.key, byte);
+            while (d != b) {
+                std::swap(rec, data[cursor[d]]);
+                ++cursor[d];
+                d = digit(rec.key, byte);
+            }
+            data[cursor[b]] = rec;
+            ++cursor[b];
+        }
+    }
+
+    if (byte == 0)
+        return;
+
+    if (depth_threads > 1) {
+        // Parallel recursion: buckets are independent; hand them to a
+        // worker pool sized by the remaining parallelism budget.
+        std::atomic<std::size_t> next{0};
+        parallelFor(depth_threads, [&](unsigned) {
+            for (;;) {
+                const std::size_t b =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (b >= kRadixBuckets)
+                    return;
+                if (count[b] > 1) {
+                    msdRadixRecurse(data + head[b], count[b], byte - 1,
+                                    1);
+                }
+            }
+        });
+    } else {
+        for (std::size_t b = 0; b < kRadixBuckets; ++b) {
+            if (count[b] > 1)
+                msdRadixRecurse(data + head[b], count[b], byte - 1, 1);
+        }
+    }
+}
+
+} // namespace
+
+void
+stdSort(std::vector<Record> &data)
+{
+    std::sort(data.begin(), data.end());
+}
+
+void
+lsdRadixSort(std::vector<Record> &data)
+{
+    const std::size_t n = data.size();
+    if (n <= 1)
+        return;
+    std::vector<Record> buffer(n);
+    Record *src = data.data();
+    Record *dst = buffer.data();
+    for (unsigned byte = 0; byte < 8; ++byte) {
+        std::array<std::size_t, kRadixBuckets> count{};
+        for (std::size_t i = 0; i < n; ++i)
+            ++count[digit(src[i].key, byte)];
+        if (count[digit(src[0].key, byte)] == n) {
+            continue; // all records share this digit: skip the pass
+        }
+        std::size_t sum = 0;
+        for (std::size_t b = 0; b < kRadixBuckets; ++b) {
+            const std::size_t c = count[b];
+            count[b] = sum;
+            sum += c;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            dst[count[digit(src[i].key, byte)]++] = src[i];
+        std::swap(src, dst);
+    }
+    if (src != data.data())
+        std::copy(src, src + n, data.data());
+}
+
+void
+parallelMsdRadixSort(std::vector<Record> &data, unsigned threads)
+{
+    if (data.size() <= 1)
+        return;
+    msdRadixRecurse(data.data(), data.size(), 7,
+                    resolveThreads(threads));
+}
+
+void
+sampleSortCpu(std::vector<Record> &data, unsigned buckets,
+              unsigned threads)
+{
+    const std::size_t n = data.size();
+    if (n <= kInsertionCutoff || buckets < 2) {
+        std::sort(data.begin(), data.end());
+        return;
+    }
+    threads = resolveThreads(threads);
+
+    // Sample and select splitters (oversampling factor 8).
+    const std::size_t sample_size =
+        std::min<std::size_t>(n, 8ULL * buckets);
+    std::vector<std::uint64_t> sample(sample_size);
+    SplitMix64 rng(0xBEEF);
+    for (std::size_t i = 0; i < sample_size; ++i)
+        sample[i] = data[rng.nextBounded(n)].key;
+    std::sort(sample.begin(), sample.end());
+    std::vector<std::uint64_t> splitters;
+    for (unsigned b = 1; b < buckets; ++b)
+        splitters.push_back(sample[b * sample_size / buckets]);
+
+    const auto bucket_of = [&](std::uint64_t key) {
+        return static_cast<std::size_t>(
+            std::upper_bound(splitters.begin(), splitters.end(), key) -
+            splitters.begin());
+    };
+
+    // Parallel classification into per-thread, per-bucket lists.
+    std::vector<std::vector<std::vector<Record>>> parts(
+        threads, std::vector<std::vector<Record>>(buckets));
+    parallelFor(threads, [&](unsigned t) {
+        const std::size_t lo = t * n / threads;
+        const std::size_t hi = (t + 1) * n / threads;
+        for (std::size_t i = lo; i < hi; ++i)
+            parts[t][bucket_of(data[i].key)].push_back(data[i]);
+    });
+
+    // Bucket offsets, then parallel copy-back + per-bucket sort.
+    std::vector<std::size_t> offsets(buckets + 1, 0);
+    for (unsigned b = 0; b < buckets; ++b) {
+        std::size_t size = 0;
+        for (unsigned t = 0; t < threads; ++t)
+            size += parts[t][b].size();
+        offsets[b + 1] = offsets[b] + size;
+    }
+    std::atomic<unsigned> next{0};
+    parallelFor(threads, [&](unsigned) {
+        for (;;) {
+            const unsigned b =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (b >= buckets)
+                return;
+            std::size_t pos = offsets[b];
+            for (unsigned t = 0; t < threads; ++t) {
+                std::copy(parts[t][b].begin(), parts[t][b].end(),
+                          data.begin() + pos);
+                pos += parts[t][b].size();
+            }
+            std::sort(data.begin() + offsets[b],
+                      data.begin() + offsets[b + 1]);
+        }
+    });
+}
+
+} // namespace bonsai::baseline

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Live CPU baseline sorters, run in-process by the benchmark harness
+ * to ground the CPU side of the comparisons on this machine:
+ *
+ *  - stdSort: std::sort (introsort) reference;
+ *  - lsdRadixSort: sequential LSD radix sort, 8-bit digits;
+ *  - parallelMsdRadixSort: PARADIS-inspired parallel in-place MSD
+ *    radix sort (parallel histogram + in-place permutation + parallel
+ *    recursion into buckets);
+ *  - sampleSortCpu: splitter-based sample sort with parallel
+ *    classification and bucket sorting (the CPU analogue of the
+ *    FPGA SampleSort comparator).
+ */
+
+#ifndef BONSAI_BASELINE_CPU_SORTERS_HPP
+#define BONSAI_BASELINE_CPU_SORTERS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/record.hpp"
+
+namespace bonsai::baseline
+{
+
+/** std::sort reference. */
+void stdSort(std::vector<Record> &data);
+
+/** Sequential LSD radix sort on the 64-bit key, 8-bit digits. */
+void lsdRadixSort(std::vector<Record> &data);
+
+/**
+ * PARADIS-inspired parallel in-place MSD radix sort.
+ * @param threads Worker count (0 = hardware concurrency).
+ */
+void parallelMsdRadixSort(std::vector<Record> &data,
+                          unsigned threads = 0);
+
+/**
+ * Sample sort: sample keys, choose @p buckets - 1 splitters, classify
+ * in parallel, sort each bucket in parallel.
+ */
+void sampleSortCpu(std::vector<Record> &data, unsigned buckets = 64,
+                   unsigned threads = 0);
+
+} // namespace bonsai::baseline
+
+#endif // BONSAI_BASELINE_CPU_SORTERS_HPP

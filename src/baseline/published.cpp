@@ -1,0 +1,52 @@
+#include "baseline/published.hpp"
+
+#include <cmath>
+
+namespace bonsai::baseline
+{
+
+std::optional<double>
+publishedMsPerGb(std::string_view name, std::uint64_t bytes)
+{
+    const PublishedRow *row = nullptr;
+    for (const PublishedRow &r : kTable1Rows) {
+        if (r.name == name) {
+            row = &r;
+            break;
+        }
+    }
+    if (row == nullptr)
+        return std::nullopt;
+    // Nearest Table I column in log space.
+    std::size_t best = 0;
+    double best_dist = 1e300;
+    for (std::size_t i = 0; i < kTable1Sizes.size(); ++i) {
+        const double dist = std::fabs(
+            std::log2(static_cast<double>(bytes)) -
+            std::log2(static_cast<double>(kTable1Sizes[i])));
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = i;
+        }
+    }
+    if (row->msPerGb[best] == kNoResult)
+        return std::nullopt;
+    return row->msPerGb[best];
+}
+
+std::array<BandwidthEfficiencyEntry, 3>
+figure12Comparators()
+{
+    // Sorter throughputs follow from Table I at 16 GB (1 / ms-per-GB);
+    // the memory bandwidths are reconstructed from the comparators'
+    // publications (PARADIS: 4-socket DDR3/DDR4 server; HRS: Titan X
+    // class GPU global memory; SampleSort: multi-bank DDR on an FPGA
+    // board), chosen so the relative picture of Figure 12 holds.
+    return {{
+        {"PARADIS [20]", 1.0 / 0.395 * kGB, 64.0 * kGB},
+        {"HRS [18]", 1.0 / 0.208 * kGB, 480.0 * kGB},
+        {"SampleSort [19]", 1.0 / 0.220 * kGB, 67.4 * kGB},
+    }};
+}
+
+} // namespace bonsai::baseline

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Published performance numbers of the sorters Bonsai compares against
+ * (paper Table I and Figures 5, 11, 12).  These systems are
+ * closed-source and/or require other hardware (GPUs, other FPGAs,
+ * clusters), so the comparison harness reproduces the paper's tables
+ * from the reported values; the live CPU baselines in cpu_sorters.hpp
+ * complement them with measured numbers on this machine.
+ *
+ * All values are sorting time in ms per GB (lower is better), exactly
+ * as printed in Table I; distributed sorters are multiplied by node
+ * count, dashes are kNoResult.
+ */
+
+#ifndef BONSAI_BASELINE_PUBLISHED_HPP
+#define BONSAI_BASELINE_PUBLISHED_HPP
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace bonsai::baseline
+{
+
+/** Input sizes of Table I's columns, in bytes. */
+inline constexpr std::array<std::uint64_t, 9> kTable1Sizes = {
+    4 * kGB,   8 * kGB,   16 * kGB, 32 * kGB,  64 * kGB,
+    128 * kGB, 512 * kGB, 2 * kTB,  100 * kTB,
+};
+
+inline constexpr double kNoResult = -1.0;
+
+/** One comparison system's Table I row. */
+struct PublishedRow
+{
+    std::string_view name;
+    std::string_view platform;
+    std::array<double, 9> msPerGb;
+};
+
+/** Table I rows (paper values; dashes encoded as kNoResult). */
+inline constexpr std::array<PublishedRow, 6> kTable1Rows = {{
+    {"PARADIS [20]", "CPU",
+     {436, 436, 395, 388, 363, kNoResult, kNoResult, kNoResult,
+      kNoResult}},
+    {"CPU distributed [36]", "CPU",
+     {kNoResult, kNoResult, kNoResult, kNoResult, kNoResult, 508, 508,
+      508, 466}},
+    {"HRS [18]", "GPU",
+     {208, 208, 208, 224, 260, 267, kNoResult, kNoResult, kNoResult}},
+    {"GPU distributed [37]", "GPU",
+     {kNoResult, kNoResult, kNoResult, kNoResult, kNoResult, kNoResult,
+      2909, 3368, kNoResult}},
+    {"SampleSort [19]", "FPGA",
+     {215, 217, 220, 643, kNoResult, kNoResult, kNoResult, kNoResult,
+      kNoResult}},
+    {"TerabyteSort [29]", "FPGA",
+     {kNoResult, kNoResult, kNoResult, kNoResult, 3401, 4366, 4347,
+      4347, 6210}},
+}};
+
+/** Bonsai's own published Table I row, for regression checks. */
+inline constexpr std::array<double, 9> kTable1Bonsai = {
+    172, 172, 172, 172, 172, 250, 250, 250, 375,
+};
+
+/**
+ * ms/GB of the single-node comparators at an arbitrary size
+ * (step-wise lookup of the nearest Table I column with a result);
+ * returns nullopt outside the system's reported range.
+ */
+std::optional<double> publishedMsPerGb(std::string_view name,
+                                       std::uint64_t bytes);
+
+/**
+ * Sustained sort throughput (bytes/s) the paper quotes for the
+ * bandwidth-efficiency comparison at 16 GB (Figure 12), along with
+ * each system's available memory bandwidth (bytes/s).
+ */
+struct BandwidthEfficiencyEntry
+{
+    std::string_view name;
+    double throughput;    ///< bytes/s
+    double memBandwidth;  ///< bytes/s
+
+    double efficiency() const { return throughput / memBandwidth; }
+};
+
+/** Figure 12 comparison set (PARADIS, HRS, SampleSort). */
+std::array<BandwidthEfficiencyEntry, 3> figure12Comparators();
+
+} // namespace bonsai::baseline
+
+#endif // BONSAI_BASELINE_PUBLISHED_HPP

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Output-validation helpers (the valsort side of the sort benchmark):
+ * sortedness checks and order-independent fingerprints for permutation
+ * checks at scales where keeping a copy is undesirable.
+ */
+
+#ifndef BONSAI_COMMON_CHECKS_HPP
+#define BONSAI_COMMON_CHECKS_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "common/record.hpp"
+
+namespace bonsai
+{
+
+/** True iff keys are non-decreasing. */
+template <typename RecordT>
+bool
+isSorted(std::span<const RecordT> recs)
+{
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+        if (recs[i] < recs[i - 1])
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Order-independent fingerprint of a record multiset.  Two vectors have
+ * equal fingerprints iff (with overwhelming probability) one is a
+ * permutation of the other.  Combines a sum and a xor of per-record
+ * mixes so both insertion and substitution errors are caught.
+ */
+struct Fingerprint
+{
+    std::uint64_t sum = 0;
+    std::uint64_t xorMix = 0;
+    std::uint64_t count = 0;
+
+    friend bool
+    operator==(const Fingerprint &a, const Fingerprint &b) = default;
+};
+
+namespace detail
+{
+
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+constexpr std::uint64_t
+mixRecord(const Record &r)
+{
+    return mix64(r.key ^ mix64(r.value));
+}
+
+constexpr std::uint64_t
+mixRecord(const Record128 &r)
+{
+    return mix64(r.keyHi ^ mix64(r.keyLo ^ mix64(r.value)));
+}
+
+} // namespace detail
+
+template <typename RecordT>
+Fingerprint
+fingerprint(std::span<const RecordT> recs)
+{
+    Fingerprint fp;
+    for (const RecordT &r : recs) {
+        std::uint64_t m = detail::mixRecord(r);
+        fp.sum += m;
+        fp.xorMix ^= m;
+        ++fp.count;
+    }
+    return fp;
+}
+
+} // namespace bonsai
+
+#endif // BONSAI_COMMON_CHECKS_HPP

@@ -1,0 +1,91 @@
+#include "common/gensort.hpp"
+
+#include "common/random.hpp"
+
+namespace bonsai
+{
+
+std::uint64_t
+hash48(const std::uint8_t *data, std::size_t len)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= data[i];
+        h *= 0x100000001B3ULL;
+    }
+    return h & 0xFFFFFFFFFFFFULL;
+}
+
+std::vector<GensortRecord>
+GensortGenerator::generate(std::uint64_t first, std::uint64_t count) const
+{
+    std::vector<GensortRecord> out(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        GensortRecord &rec = out[i];
+        // Each record gets its own stream so generation is
+        // position-independent (gensort's skip-ahead property).
+        SplitMix64 rng(seed_ ^ (first + i) * 0x9E3779B97F4A7C15ULL);
+        for (std::size_t b = 0; b < GensortRecord::kKeyBytes; ++b)
+            rec.bytes[b] = static_cast<std::uint8_t>(rng.next() >> 56);
+        if (rec.bytes[0] == 0)
+            rec.bytes[0] = 1; // keep packed record distinct from terminal
+        // Value: 8-byte record number, then generator bytes.
+        std::uint64_t idx = first + i;
+        for (std::size_t b = 0; b < 8; ++b) {
+            rec.bytes[GensortRecord::kKeyBytes + b] =
+                static_cast<std::uint8_t>(idx >> (8 * (7 - b)));
+        }
+        for (std::size_t b = GensortRecord::kKeyBytes + 8;
+             b < GensortRecord::kBytes; ++b) {
+            rec.bytes[b] = static_cast<std::uint8_t>(rng.next() >> 56);
+        }
+    }
+    return out;
+}
+
+Record128
+packGensort(const GensortRecord &rec)
+{
+    Record128 r;
+    for (std::size_t b = 0; b < 8; ++b)
+        r.keyHi = (r.keyHi << 8) | rec.bytes[b];
+    r.keyLo = (static_cast<std::uint64_t>(rec.bytes[8]) << 8) |
+        rec.bytes[9];
+    r.value = hash48(rec.bytes.data() + GensortRecord::kKeyBytes,
+                     GensortRecord::kValueBytes);
+    return r;
+}
+
+ValsortSummary
+valsortSummary(const std::vector<GensortRecord> &recs)
+{
+    ValsortSummary summary;
+    summary.records = recs.size();
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        std::uint64_t rec_sum = 0;
+        for (std::uint8_t b : recs[i].bytes)
+            rec_sum = rec_sum * 31 + b;
+        summary.checksum += rec_sum;
+        if (i > 0) {
+            if (recs[i] < recs[i - 1] && summary.sorted) {
+                summary.sorted = false;
+                summary.unorderedAt = i + 1;
+            }
+            if (!(recs[i - 1] < recs[i]) && !(recs[i] < recs[i - 1]))
+                ++summary.duplicateKeys;
+        }
+    }
+    return summary;
+}
+
+std::vector<Record128>
+packGensort(const std::vector<GensortRecord> &recs)
+{
+    std::vector<Record128> out;
+    out.reserve(recs.size());
+    for (const GensortRecord &rec : recs)
+        out.push_back(packGensort(rec));
+    return out;
+}
+
+} // namespace bonsai

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * gensort-compatible workload generator (Jim Gray sort benchmark).
+ *
+ * The paper benchmarks 100-byte records (10-byte key, 90-byte value)
+ * produced by gensort, then hashes the 90-byte value down to a 6-byte
+ * index so that a (10-byte key, 6-byte value) pair fits a 16-byte AMT
+ * record (Section VI-A).  We reproduce that flow: generate 100-byte
+ * records, hash the payload to 48 bits, and pack into Record128
+ * (80-bit key in two limbs, 48-bit value).
+ */
+
+#ifndef BONSAI_COMMON_GENSORT_HPP
+#define BONSAI_COMMON_GENSORT_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/record.hpp"
+
+namespace bonsai
+{
+
+/** One 100-byte sort-benchmark record: 10-byte key, 90-byte value. */
+struct GensortRecord
+{
+    static constexpr std::size_t kKeyBytes = 10;
+    static constexpr std::size_t kValueBytes = 90;
+    static constexpr std::size_t kBytes = kKeyBytes + kValueBytes;
+
+    std::array<std::uint8_t, kBytes> bytes{};
+
+    /** Lexicographic key comparison, as valsort does. */
+    friend bool
+    operator<(const GensortRecord &a, const GensortRecord &b)
+    {
+        for (std::size_t i = 0; i < kKeyBytes; ++i) {
+            if (a.bytes[i] != b.bytes[i])
+                return a.bytes[i] < b.bytes[i];
+        }
+        return false;
+    }
+};
+
+/** FNV-1a hash of a byte range, truncated to 48 bits (the paper's
+ *  90-byte-value to 6-byte-index reduction). */
+std::uint64_t hash48(const std::uint8_t *data, std::size_t len);
+
+/**
+ * Deterministic generator of gensort-style records.  Keys are uniform
+ * random bytes (never all-zero, so the packed record is never the
+ * reserved terminal); values embed the record index followed by
+ * generator output, mimicking gensort's binary mode.
+ */
+class GensortGenerator
+{
+  public:
+    explicit GensortGenerator(std::uint64_t seed) : seed_(seed) {}
+
+    /** Generate records [first, first + count). */
+    std::vector<GensortRecord> generate(std::uint64_t first,
+                                        std::uint64_t count) const;
+
+  private:
+    std::uint64_t seed_;
+};
+
+/**
+ * Pack a 100-byte record into the 16-byte AMT record: 80-bit key split
+ * into keyHi (first 8 bytes, big-endian) and keyLo (last 2 key bytes),
+ * value = 48-bit payload hash.  Ordering of packed records equals
+ * lexicographic ordering of the original 10-byte keys.
+ */
+Record128 packGensort(const GensortRecord &rec);
+
+/** Pack a whole vector. */
+std::vector<Record128> packGensort(const std::vector<GensortRecord> &recs);
+
+/**
+ * valsort-style output summary: record count, order check, duplicate
+ * count, and an order-independent checksum over all record bytes (so a
+ * sorted output can be validated against the input's summary).
+ */
+struct ValsortSummary
+{
+    std::uint64_t records = 0;
+    std::uint64_t checksum = 0;     ///< sum of per-record byte sums
+    std::uint64_t duplicateKeys = 0; ///< adjacent equal keys (sorted)
+    std::uint64_t unorderedAt = 0;  ///< first out-of-order index + 1
+    bool sorted = true;
+};
+
+/** Compute the summary of @p recs (duplicates meaningful if sorted). */
+ValsortSummary valsortSummary(const std::vector<GensortRecord> &recs);
+
+} // namespace bonsai
+
+#endif // BONSAI_COMMON_GENSORT_HPP

@@ -1,0 +1,57 @@
+#include "common/random.hpp"
+
+#include <algorithm>
+
+namespace bonsai
+{
+
+std::vector<Record>
+makeRecords(std::size_t n, Distribution dist, std::uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    std::vector<Record> out(n);
+    switch (dist) {
+      case Distribution::UniformRandom:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = Record{rng.next() | 1ULL, i};
+        break;
+      case Distribution::Sorted:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = Record{i + 1, i};
+        break;
+      case Distribution::Reverse:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = Record{n - i, i};
+        break;
+      case Distribution::AllEqual:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = Record{7, i};
+        break;
+      case Distribution::FewDistinct:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = Record{1 + rng.nextBounded(16), i};
+        break;
+      case Distribution::NearlySorted:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = Record{i + 1, i};
+        for (std::size_t s = 0; s < n / 100; ++s) {
+            std::size_t a = rng.nextBounded(n);
+            std::size_t b = rng.nextBounded(n);
+            std::swap(out[a].key, out[b].key);
+        }
+        break;
+    }
+    return out;
+}
+
+std::vector<Record128>
+makeRecords128(std::size_t n, std::uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    std::vector<Record128> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = Record128{rng.next(), rng.next() | 1ULL, i};
+    return out;
+}
+
+} // namespace bonsai

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic pseudo-random generators and record-vector builders.
+ *
+ * All experiments use seeded generators so that every table/figure in the
+ * benchmark harness is exactly reproducible run to run.
+ */
+
+#ifndef BONSAI_COMMON_RANDOM_HPP
+#define BONSAI_COMMON_RANDOM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/record.hpp"
+
+namespace bonsai
+{
+
+/**
+ * SplitMix64 generator (Steele, Lea, Flood; JDK 8).  Small state, passes
+ * BigCrush, ideal for seeding and bulk data generation.
+ */
+class SplitMix64
+{
+  public:
+    explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /** Next 64-bit value. */
+    constexpr std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). Requires bound > 0. */
+    constexpr std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    constexpr double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** Input distributions used by the test/benchmark workload generators. */
+enum class Distribution
+{
+    UniformRandom,  ///< Uniform random keys (paper's main benchmark).
+    Sorted,         ///< Already ascending.
+    Reverse,        ///< Descending (worst case for adaptive sorts).
+    AllEqual,       ///< Single repeated key (duplicate handling).
+    FewDistinct,    ///< 16 distinct keys.
+    NearlySorted,   ///< Sorted with 1% random swaps.
+};
+
+/**
+ * Generate @p n records with the given key @p dist.  Keys are guaranteed
+ * nonzero so the reserved terminal record never appears in user data;
+ * values carry the original index (useful for permutation checks).
+ */
+std::vector<Record> makeRecords(std::size_t n, Distribution dist,
+                                std::uint64_t seed = 42);
+
+/** Generate @p n uniform-random 128-bit-key records (nonzero keys). */
+std::vector<Record128> makeRecords128(std::size_t n,
+                                      std::uint64_t seed = 42);
+
+} // namespace bonsai
+
+#endif // BONSAI_COMMON_RANDOM_HPP

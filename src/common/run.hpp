@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Sorted-run bookkeeping shared by the data loader, writer and the
+ * stage planners: a run is a contiguous, ascending-sorted region of a
+ * memory buffer, identified by record offset and length.
+ */
+
+#ifndef BONSAI_COMMON_RUN_HPP
+#define BONSAI_COMMON_RUN_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace bonsai
+{
+
+/** A contiguous sorted run inside a record buffer. */
+struct RunSpan
+{
+    std::uint64_t offset = 0; ///< first record index
+    std::uint64_t length = 0; ///< number of records (0 = empty run)
+
+    friend bool operator==(const RunSpan &, const RunSpan &) = default;
+};
+
+/**
+ * Split @p total records into @p count runs of @p run_length (the last
+ * one possibly shorter).  Used to describe stage-one inputs.
+ */
+inline std::vector<RunSpan>
+chunkRuns(std::uint64_t total, std::uint64_t run_length)
+{
+    std::vector<RunSpan> runs;
+    for (std::uint64_t off = 0; off < total; off += run_length) {
+        runs.push_back({off, std::min(run_length, total - off)});
+    }
+    if (runs.empty())
+        runs.push_back({0, 0});
+    return runs;
+}
+
+} // namespace bonsai
+
+#endif // BONSAI_COMMON_RUN_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Byte/size/time unit helpers.
+ *
+ * The paper quotes capacities and bandwidths in decimal units (GB, GB/s);
+ * we follow that convention throughout so that model outputs line up with
+ * the paper's numbers (e.g. a p=32 tree at 250 MHz on 4-byte records is
+ * exactly 32 GB/s).
+ */
+
+#ifndef BONSAI_COMMON_UNITS_HPP
+#define BONSAI_COMMON_UNITS_HPP
+
+#include <cstdint>
+
+namespace bonsai
+{
+
+inline constexpr std::uint64_t kKB = 1000ULL;
+inline constexpr std::uint64_t kMB = 1000ULL * kKB;
+inline constexpr std::uint64_t kGB = 1000ULL * kMB;
+inline constexpr std::uint64_t kTB = 1000ULL * kGB;
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/** Gigabytes (decimal) to bytes. */
+constexpr std::uint64_t
+gb(double n)
+{
+    return static_cast<std::uint64_t>(n * static_cast<double>(kGB));
+}
+
+/** Terabytes (decimal) to bytes. */
+constexpr std::uint64_t
+tb(double n)
+{
+    return static_cast<std::uint64_t>(n * static_cast<double>(kTB));
+}
+
+/** Bytes to (decimal) gigabytes. */
+constexpr double
+toGb(std::uint64_t bytes)
+{
+    return static_cast<double>(bytes) / static_cast<double>(kGB);
+}
+
+/** Seconds to milliseconds. */
+constexpr double
+toMs(double seconds)
+{
+    return seconds * 1e3;
+}
+
+} // namespace bonsai
+
+#endif // BONSAI_COMMON_UNITS_HPP

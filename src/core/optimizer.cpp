@@ -1,0 +1,101 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+
+namespace bonsai::core
+{
+
+bool
+Optimizer::feasible(const amt::AmtConfig &cfg, RankedConfig &out) const
+{
+    const std::uint64_t batch =
+        model::feasibleBatchBytes(inputs_, cfg);
+    if (batch == 0)
+        return false;
+    out.resources =
+        model::predictResources(inputs_, cfg, space_.withPresorter);
+    if (out.resources.totalLut() > inputs_.hw.cLut)
+        return false;
+    out.config = cfg;
+    out.batchBytes = batch;
+    return true;
+}
+
+std::vector<RankedConfig>
+Optimizer::rank(Objective objective) const
+{
+    // Keep performance and resource views consistent: without a
+    // presorter, initial runs are single records.
+    model::BonsaiInputs in = inputs_;
+    if (!space_.withPresorter)
+        in.arch.presortRunLength = 1;
+
+    std::vector<RankedConfig> ranked;
+    for (unsigned p = 1; p <= space_.maxP; p *= 2) {
+        for (unsigned ell = 2; ell <= space_.maxEll; ell *= 2) {
+            for (unsigned unrl = 1; unrl <= space_.maxUnroll;
+                 unrl *= 2) {
+                const unsigned max_pipe = objective == Objective::Latency
+                    ? 1 // pipelining never improves latency (III-C)
+                    : space_.maxPipe;
+                for (unsigned pipe = 1; pipe <= max_pipe; pipe *= 2) {
+                    amt::AmtConfig cfg{p, ell, unrl, pipe};
+                    RankedConfig rc;
+                    if (!feasible(cfg, rc))
+                        continue;
+                    if (objective == Objective::Latency) {
+                        rc.perf = model::latencyEstimate(in, cfg);
+                        // Unrolling cannot shrink a tree's share
+                        // below one initial run: such configurations
+                        // are artifacts of Equation 2, not designs.
+                        if (rc.perf.stages == 0 && cfg.lambdaUnrl > 1)
+                            continue;
+                    } else {
+                        // Equation 5: the pipeline must be able to
+                        // hold and fully sort the array.
+                        if (model::pipelineCapacityRecords(
+                                in, cfg) < in.array.n) {
+                            continue;
+                        }
+                        rc.perf = model::pipelineEstimate(in, cfg);
+                    }
+                    ranked.push_back(rc);
+                }
+            }
+        }
+    }
+    const auto better = [objective](const RankedConfig &a,
+                                    const RankedConfig &b) {
+        if (objective == Objective::Latency) {
+            if (a.perf.latencySeconds != b.perf.latencySeconds)
+                return a.perf.latencySeconds < b.perf.latencySeconds;
+        } else {
+            if (a.perf.throughputBytesPerSec !=
+                b.perf.throughputBytesPerSec) {
+                return a.perf.throughputBytesPerSec >
+                    b.perf.throughputBytesPerSec;
+            }
+        }
+        // Tie-breaks: prefer more leaves ("as many leaves as on-chip
+        // resources permit", VI-B2 — robust to larger N), then
+        // cheaper designs (less logic, less BRAM).
+        if (a.config.ell != b.config.ell)
+            return a.config.ell > b.config.ell;
+        if (a.resources.totalLut() != b.resources.totalLut())
+            return a.resources.totalLut() < b.resources.totalLut();
+        return a.resources.bramBlocks < b.resources.bramBlocks;
+    };
+    std::stable_sort(ranked.begin(), ranked.end(), better);
+    return ranked;
+}
+
+std::optional<RankedConfig>
+Optimizer::best(Objective objective) const
+{
+    std::vector<RankedConfig> ranked = rank(objective);
+    if (ranked.empty())
+        return std::nullopt;
+    return ranked.front();
+}
+
+} // namespace bonsai::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Bonsai AMT optimizer (paper Section III-C).
+ *
+ * Bonsai exhaustively enumerates AMT configurations (p, ell,
+ * lambda_unrl, lambda_pipe), prunes those that do not fit on-chip
+ * resources (Equations 8-10), and returns the feasible configurations
+ * ranked by the chosen objective:
+ *
+ *  - latency-optimal: argmin of Equation 2 (pipelining excluded — it
+ *    never improves single-array sorting time);
+ *  - throughput-optimal: argmax of Equation 7, subject to the pipeline
+ *    capacity constraint of Equation 5.
+ *
+ * Per the paper, Bonsai can "list all implementable AMT configurations
+ * in decreasing order of performance" so near-optimal fallbacks exist
+ * when the best design fails synthesis; rank() exposes that list.
+ */
+
+#ifndef BONSAI_CORE_OPTIMIZER_HPP
+#define BONSAI_CORE_OPTIMIZER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "amt/config.hpp"
+#include "model/params.hpp"
+#include "model/perf_model.hpp"
+#include "model/resource_model.hpp"
+
+namespace bonsai::core
+{
+
+/** Objective for the configuration search. */
+enum class Objective
+{
+    Latency,    ///< minimize single-array sorting time (Eq. 2)
+    Throughput, ///< maximize sustained sort throughput (Eq. 7)
+};
+
+/** A scored, feasible configuration. */
+struct RankedConfig
+{
+    amt::AmtConfig config;
+    model::PerfEstimate perf;
+    model::ResourceEstimate resources;
+    std::uint64_t batchBytes = 0; ///< largest feasible b (Eq. 10)
+};
+
+/** Search-space bounds; defaults cover the paper's design space. */
+struct SearchSpace
+{
+    unsigned maxP = 32;
+    unsigned maxEll = 1024;
+    unsigned maxUnroll = 64;
+    unsigned maxPipe = 8;
+    bool withPresorter = true;
+};
+
+class Optimizer
+{
+  public:
+    explicit Optimizer(const model::BonsaiInputs &inputs,
+                       SearchSpace space = {})
+        : inputs_(inputs), space_(space)
+    {
+    }
+
+    /**
+     * All feasible configurations sorted best-first by @p objective
+     * (ties broken toward fewer on-chip resources).
+     */
+    std::vector<RankedConfig> rank(Objective objective) const;
+
+    /** Best feasible configuration, if any fits. */
+    std::optional<RankedConfig> best(Objective objective) const;
+
+    const model::BonsaiInputs &inputs() const { return inputs_; }
+
+  private:
+    bool feasible(const amt::AmtConfig &cfg, RankedConfig &out) const;
+
+    model::BonsaiInputs inputs_;
+    SearchSpace space_;
+};
+
+} // namespace bonsai::core
+
+#endif // BONSAI_CORE_OPTIMIZER_HPP

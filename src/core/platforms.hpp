@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Platform presets for the memory hierarchies the paper studies
+ * (Section IV): AWS EC2 F1 DDR4 DRAM, Xilinx U50-class HBM, and a
+ * 2 TB NVMe SSD behind an 8 GB/s I/O bus.
+ */
+
+#ifndef BONSAI_CORE_PLATFORMS_HPP
+#define BONSAI_CORE_PLATFORMS_HPP
+
+#include "common/units.hpp"
+#include "model/params.hpp"
+
+namespace bonsai::core
+{
+
+/** AWS EC2 F1.2xlarge: VU9P FPGA + 64 GB DDR4, 4 banks x 8 GB/s
+ *  concurrent read/write, PCIe I/O (Section VI-A). */
+inline model::HardwareParams
+awsF1()
+{
+    model::HardwareParams hw;
+    hw.betaDram = 32.0 * kGB;
+    hw.betaIo = 8.0 * kGB;
+    hw.cDram = 64 * kGB;
+    hw.cBramBytes = 1600ULL * 36864 / 8; // 1,600 36Kb blocks (Table IV)
+    hw.cLut = 862'128;                   // Table IV "Available"
+    hw.batchBytes = 4096;
+    hw.dramBanks = 4;
+    return hw;
+}
+
+/** F1 with a single DDR4 bank (the "Bonsai 8" bandwidth-efficiency
+ *  configuration of Figure 12). */
+inline model::HardwareParams
+awsF1SingleBank()
+{
+    model::HardwareParams hw = awsF1();
+    hw.betaDram = 8.0 * kGB;
+    hw.dramBanks = 1;
+    return hw;
+}
+
+/** HBM-attached FPGA (Section IV-B): 32 banks x 8 GB/s = 256 GB/s
+ *  with up to 512 GB/s parts announced; 16 GB capacity. */
+inline model::HardwareParams
+hbmU50(double bandwidth_gbps = 512.0)
+{
+    model::HardwareParams hw;
+    hw.betaDram = bandwidth_gbps * kGB;
+    hw.betaIo = 16.0 * kGB;
+    hw.cDram = 16 * kGB;
+    hw.cBramBytes = 1600ULL * 36864 / 8;
+    hw.cLut = 862'128;
+    hw.batchBytes = 4096;
+    hw.dramBanks = 32;
+    return hw;
+}
+
+/** SSD tier parameters for the two-level hierarchy (Section IV-C). */
+struct SsdParams
+{
+    double ioBandwidth = 8.0 * kGB;  ///< SSD <-> FPGA I/O bus
+    std::uint64_t capacity = 2 * kTB;
+};
+
+/** Modeled FPGA reprogramming time between SSD phases (Table V). */
+inline constexpr double kReprogramSeconds = 4.3;
+
+} // namespace bonsai::core
+
+#endif // BONSAI_CORE_PLATFORMS_HPP

@@ -1,0 +1,36 @@
+#include "core/scalability.hpp"
+
+namespace bonsai::core
+{
+
+ScalabilityPoint
+scalabilityAt(const ScalabilityParams &params, std::uint64_t bytes)
+{
+    ScalabilityPoint pt;
+    pt.bytes = bytes;
+    if (bytes <= params.dramCapacity) {
+        const std::uint64_t n = bytes / params.recordBytes;
+        pt.usesSsd = false;
+        pt.stages = model::mergeStages(n, params.dramEll,
+                                       params.presortRun);
+        pt.latencySeconds = static_cast<double>(bytes) * pt.stages /
+            params.dramBandwidth;
+        pt.regime = "DRAM sorter, " + std::to_string(pt.stages) +
+            " merge stages";
+    } else {
+        // Phase 1 (one full I/O round trip) + phase-2 round trips.
+        const std::uint64_t runs =
+            (bytes + params.chunkBytes - 1) / params.chunkBytes;
+        const unsigned phase2 = model::mergeStages(runs, params.ssdEll);
+        pt.usesSsd = true;
+        pt.stages = 1 + phase2;
+        pt.latencySeconds = static_cast<double>(bytes) * pt.stages /
+            params.ssdBandwidth;
+        pt.regime = "SSD sorter, phase 1 + " + std::to_string(phase2) +
+            " phase-2 round trips";
+    }
+    pt.msPerGb = toMs(pt.latencySeconds) / toGb(bytes);
+    return pt;
+}
+
+} // namespace bonsai::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Scalability model: latency per GB of the latency-optimized Bonsai
+ * sorters across the full megabyte-to-petabyte range (paper Figure 13
+ * and the Bonsai row of Table I).
+ *
+ * The curve is piecewise:
+ *  - input fits DRAM: DRAM sorter, latency/GB = stages / beta_dram
+ *    (stages from the ell-way tree over presorted 16-record runs);
+ *  - input exceeds DRAM: two-phase SSD sorter, latency/GB =
+ *    (1 + phase-2 stages) / beta_io, where phase 1 emits
+ *    DRAM-capacity-sized sorted chunks and each phase-2 stage is a
+ *    full SSD round trip merging ell_2 runs.
+ *
+ * The four latency steps the paper annotates fall out of the stage
+ * counts: an extra DRAM stage above 1 GB, the SSD switch above DRAM
+ * capacity, and extra phase-2 stages above chunk*ell_2 and
+ * chunk*ell_2^2 bytes.
+ */
+
+#ifndef BONSAI_CORE_SCALABILITY_HPP
+#define BONSAI_CORE_SCALABILITY_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "model/perf_model.hpp"
+
+namespace bonsai::core
+{
+
+/** Knobs of the deployed sorter pair the curve describes. */
+struct ScalabilityParams
+{
+    // DRAM sorter (as built on the F1).
+    unsigned dramEll = 256;   ///< model-optimal leaves (Fig. 13);
+                              ///< use 64 for the as-implemented sorter
+    double dramBandwidth = 29.0 * kGB; ///< measured, paper footnote 2
+    std::uint64_t dramCapacity = 64 * kGB;
+    std::uint64_t presortRun = 16;
+    std::uint64_t recordBytes = 4;
+
+    // SSD sorter.
+    unsigned ssdEll = 256;    ///< phase-2 leaves
+    double ssdBandwidth = 8.0 * kGB;
+    std::uint64_t chunkBytes = 64 * kGB; ///< phase-1 output run size
+};
+
+/** One point of the scalability curve. */
+struct ScalabilityPoint
+{
+    std::uint64_t bytes = 0;
+    bool usesSsd = false;
+    unsigned stages = 0;      ///< DRAM stages, or phase-2 stages + 1
+    double latencySeconds = 0.0;
+    double msPerGb = 0.0;
+    std::string regime;       ///< human-readable explanation
+};
+
+/** Evaluate the curve at one input size. */
+ScalabilityPoint scalabilityAt(const ScalabilityParams &params,
+                               std::uint64_t bytes);
+
+} // namespace bonsai::core
+
+#endif // BONSAI_CORE_SCALABILITY_HPP

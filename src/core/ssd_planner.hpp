@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Two-phase SSD sorting planner (paper Section IV-C).
+ *
+ * For arrays larger than DRAM, sorting is split into two phases with a
+ * different AMT configuration each (the FPGA is reprogrammed between
+ * them, ~4.3 s):
+ *
+ *  Phase 1 (throughput-optimal): stream the input from SSD through a
+ *  lambda_pipe-deep AMT pipeline, producing DRAM-scale sorted
+ *  subsequences back on the SSD at I/O line rate.
+ *
+ *  Phase 2 (latency-optimal, SSD as the off-chip memory): merge the
+ *  DRAM-scale subsequences with a high-ell tree in as few full SSD
+ *  round trips as possible (each extra stage costs a full round trip at
+ *  SSD bandwidth).
+ */
+
+#ifndef BONSAI_CORE_SSD_PLANNER_HPP
+#define BONSAI_CORE_SSD_PLANNER_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "core/optimizer.hpp"
+#include "core/platforms.hpp"
+
+namespace bonsai::core
+{
+
+/** Complete two-phase plan with modeled times (Table V). */
+struct SsdPlan
+{
+    RankedConfig phase1;  ///< throughput-optimal pipeline config
+    RankedConfig phase2;  ///< latency-optimal merge config
+    std::uint64_t chunkRecords = 0; ///< records per phase-1 subsequence
+    unsigned phase2Stages = 0;      ///< SSD round trips in phase 2
+    double phase1Seconds = 0.0;
+    double reprogramSeconds = 0.0;
+    double phase2Seconds = 0.0;
+
+    double
+    totalSeconds() const
+    {
+        return phase1Seconds + reprogramSeconds + phase2Seconds;
+    }
+};
+
+/**
+ * Build the two-phase plan for sorting @p array on hardware @p hw with
+ * an SSD tier @p ssd.
+ *
+ * @param chunk_bytes Phase-1 subsequence size; defaults to the largest
+ *        power-of-two chunk the phase-1 pipeline can sort (Equation 5
+ *        bounded by C_DRAM / lambda_pipe).
+ */
+std::optional<SsdPlan> planSsdSort(const model::ArrayParams &array,
+                                   const model::HardwareParams &hw,
+                                   const model::MergerArchParams &arch,
+                                   const SsdParams &ssd,
+                                   std::uint64_t chunk_bytes = 0);
+
+} // namespace bonsai::core
+
+#endif // BONSAI_CORE_SSD_PLANNER_HPP

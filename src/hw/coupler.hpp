@@ -1,0 +1,60 @@
+/**
+ * @file
+ * p-coupler: concatenates adjacent p/2-record tuples from a child
+ * merger into p-record tuples for the parent merger (paper Figure 1).
+ *
+ * In the record-stream simulation this is a rate-matched forwarder: it
+ * moves up to `width` records per cycle from its input FIFO to its
+ * output FIFO (terminals included — run boundaries pass through
+ * unchanged).  Its resource cost is what matters for the models; its
+ * timing contribution is one FIFO hop.
+ */
+
+#ifndef BONSAI_HW_COUPLER_HPP
+#define BONSAI_HW_COUPLER_HPP
+
+#include <string>
+
+#include "sim/component.hpp"
+#include "sim/fifo.hpp"
+
+namespace bonsai::hw
+{
+
+template <typename RecordT>
+class Coupler : public sim::Component
+{
+  public:
+    /**
+     * @param width Records forwarded per cycle (the child throughput,
+     *              i.e. p/2 for a p-coupler feeding a p-merger).
+     */
+    Coupler(std::string name, unsigned width, sim::Fifo<RecordT> &in,
+            sim::Fifo<RecordT> &out)
+        : Component(std::move(name)), width_(width), in_(in), out_(out)
+    {
+    }
+
+    void
+    tick(sim::Cycle) override
+    {
+        for (unsigned i = 0; i < width_; ++i) {
+            if (in_.empty() || out_.full())
+                return;
+            out_.push(in_.pop());
+            ++recordsForwarded_;
+        }
+    }
+
+    std::uint64_t recordsForwarded() const { return recordsForwarded_; }
+
+  private:
+    const unsigned width_;
+    sim::Fifo<RecordT> &in_;
+    sim::Fifo<RecordT> &out_;
+    std::uint64_t recordsForwarded_ = 0;
+};
+
+} // namespace bonsai::hw
+
+#endif // BONSAI_HW_COUPLER_HPP

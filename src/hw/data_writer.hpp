@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Data writer: drains the AMT root, strips terminal records (the
+ * zero-filter role, Section V-B), records output run boundaries, and
+ * writes batched sequential stores through the memory timing model so
+ * write bandwidth is accounted like read bandwidth.
+ */
+
+#ifndef BONSAI_HW_DATA_WRITER_HPP
+#define BONSAI_HW_DATA_WRITER_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/run.hpp"
+#include "mem/timing.hpp"
+#include "sim/component.hpp"
+#include "sim/fifo.hpp"
+
+namespace bonsai::hw
+{
+
+template <typename RecordT>
+class DataWriter : public sim::Component
+{
+  public:
+    /**
+     * @param in Root output FIFO (runs separated by terminals).
+     * @param dest Stage output buffer (records land here immediately;
+     *             timing is modeled by the write tickets).
+     * @param width Records consumed per cycle (= tree throughput p).
+     * @param expected_records Total data records this stage produces.
+     * @param expected_runs Total runs (terminals) this stage produces.
+     * @param batch_records Write batch size in records.
+     */
+    DataWriter(std::string name, sim::Fifo<RecordT> &in,
+               std::span<RecordT> dest, mem::MemoryTiming &memory,
+               unsigned width, std::uint64_t expected_records,
+               std::uint64_t expected_runs, std::uint64_t batch_records,
+               std::uint64_t base_addr, std::uint64_t record_bytes)
+        : Component(std::move(name)), in_(in), dest_(dest),
+          memory_(memory), width_(width),
+          expectedRecords_(expected_records),
+          expectedRuns_(expected_runs), batchRecords_(batch_records),
+          baseAddr_(base_addr), recordBytes_(record_bytes)
+    {
+        assert(dest.size() >= expected_records);
+        runs_.push_back(RunSpan{0, 0});
+    }
+
+    void
+    tick(sim::Cycle) override
+    {
+        retireTickets();
+        consume();
+        maybeFlushBatch(false);
+    }
+
+    /** All records and run terminals seen, all writes retired. */
+    bool
+    finished()
+    {
+        if (written_ == expectedRecords_ && runsSeen_ == expectedRuns_) {
+            maybeFlushBatch(true);
+            retireTickets();
+            return tickets_.empty();
+        }
+        return false;
+    }
+
+    bool quiescent() const override { return tickets_.empty(); }
+
+    /** Output run boundaries, valid once finished(). */
+    const std::vector<RunSpan> &
+    runs() const
+    {
+        return runs_;
+    }
+
+    std::uint64_t recordsWritten() const { return written_; }
+
+  private:
+    void
+    retireTickets()
+    {
+        while (!tickets_.empty() && memory_.complete(tickets_.front()))
+            tickets_.pop_front();
+    }
+
+    void
+    consume()
+    {
+        for (unsigned i = 0; i < width_; ++i) {
+            if (in_.empty())
+                return;
+            if (tickets_.size() >= kMaxOutstanding)
+                return; // write port saturated: back-pressure the tree
+            RecordT r = in_.pop();
+            if (r.isTerminal()) {
+                ++runsSeen_;
+                // Start the next run unless the stream is finished.
+                if (runsSeen_ < expectedRuns_)
+                    runs_.push_back(RunSpan{written_, 0});
+                continue;
+            }
+            assert(written_ < expectedRecords_);
+            dest_[written_] = r;
+            ++written_;
+            ++runs_.back().length;
+            ++batchFill_;
+            if (batchFill_ >= batchRecords_)
+                maybeFlushBatch(true);
+        }
+    }
+
+    void
+    maybeFlushBatch(bool force)
+    {
+        if (batchFill_ == 0)
+            return;
+        if (!force && batchFill_ < batchRecords_)
+            return;
+        tickets_.push_back(memory_.requestWrite(
+            baseAddr_ + (written_ - batchFill_) * recordBytes_,
+            batchFill_ * recordBytes_));
+        batchFill_ = 0;
+    }
+
+    static constexpr std::size_t kMaxOutstanding = 16;
+
+    sim::Fifo<RecordT> &in_;
+    std::span<RecordT> dest_;
+    mem::MemoryTiming &memory_;
+    const unsigned width_;
+    const std::uint64_t expectedRecords_;
+    const std::uint64_t expectedRuns_;
+    const std::uint64_t batchRecords_;
+    const std::uint64_t baseAddr_;
+    const std::uint64_t recordBytes_;
+
+    std::vector<RunSpan> runs_;
+    std::deque<mem::MemoryTiming::Ticket> tickets_;
+    std::uint64_t written_ = 0;
+    std::uint64_t runsSeen_ = 0;
+    std::uint64_t batchFill_ = 0;
+};
+
+} // namespace bonsai::hw
+
+#endif // BONSAI_HW_DATA_WRITER_HPP

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * k-merger: merges two sorted record streams at k records per cycle.
+ *
+ * Architecture (paper Section "Hardware Mergers"): the merger expects
+ * k-record tuples on its two input ports and emits one k-record tuple
+ * per cycle, using a pipeline of two 2k-record bitonic half-mergers.
+ *
+ * Selection logic modeled here (the standard accumulator scheme behind
+ * such mergers): keep a k-record sorted accumulator; each cycle pick the
+ * input whose head record is smaller, pop one tuple from it, half-merge
+ * it with the accumulator, emit all but the k largest records and keep
+ * those k as the new accumulator.  Invariant: every accumulator record
+ * that came from stream S is <= S's next unread record (stream
+ * sortedness), so emitted records never exceed any future record.
+ *
+ * Run protocol (Section V-B): streams carry sorted runs separated by a
+ * single reserved *terminal* record.  When both inputs of a run pair
+ * have delivered their terminal, the merger drains its accumulator,
+ * emits one terminal downstream and resets — the single-cycle flush the
+ * paper's zero-append/zero-filter scheme provides.
+ */
+
+#ifndef BONSAI_HW_MERGER_HPP
+#define BONSAI_HW_MERGER_HPP
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <vector>
+
+#include "hw/bitonic.hpp"
+#include "sim/component.hpp"
+#include "sim/fifo.hpp"
+
+namespace bonsai::hw
+{
+
+template <typename RecordT>
+class Merger : public sim::Component
+{
+  public:
+    /**
+     * @param name Instance name.
+     * @param k Records merged per cycle (power of two).
+     * @param in_a,in_b Input FIFOs carrying run-separated record streams.
+     * @param out Output FIFO; must hold at least 2*(k+1) records.
+     */
+    Merger(std::string name, unsigned k, sim::Fifo<RecordT> &in_a,
+           sim::Fifo<RecordT> &in_b, sim::Fifo<RecordT> &out)
+        : Component(std::move(name)), k_(k), inA_(in_a), inB_(in_b),
+          out_(out), latency_(mergerLatency(k))
+    {
+        assert(isPow2(k));
+        acc_.reserve(2 * k);
+        scratch_.reserve(2 * k);
+    }
+
+    void
+    tick(sim::Cycle now) override
+    {
+        drainPipeline(now);
+        if (pipelineBlocked(now))
+            return; // downstream stall propagates through the pipeline
+        consumeLeadingTerminals();
+        if (aEnded_ && bEnded_) {
+            flushStep(now);
+        } else if (aEnded_ || bEnded_) {
+            drainStep(now, aEnded_ ? inB_ : inA_,
+                      aEnded_ ? bEnded_ : aEnded_);
+        } else {
+            mergeStep(now);
+        }
+    }
+
+    bool
+    quiescent() const override
+    {
+        return pipeline_.empty() && acc_.empty() && !aEnded_ && !bEnded_;
+    }
+
+    /** Cycles in which no tuple could be produced (starvation/stall). */
+    std::uint64_t stallCycles() const { return stallCycles_; }
+
+    /** Total records emitted downstream (terminals excluded). */
+    std::uint64_t recordsOut() const { return recordsOut_; }
+
+    /** Run-pair flushes performed (terminal emissions). */
+    std::uint64_t flushes() const { return flushes_; }
+
+    unsigned k() const { return k_; }
+
+  private:
+    struct Group
+    {
+        sim::Cycle ready;
+        std::vector<RecordT> records;
+        bool terminal = false; ///< emit a terminal after the records
+    };
+
+    void
+    drainPipeline(sim::Cycle now)
+    {
+        // At most one group leaves the network per cycle.
+        if (pipeline_.empty() || pipeline_.front().ready > now)
+            return;
+        Group &g = pipeline_.front();
+        const std::size_t need = g.records.size() + (g.terminal ? 1 : 0);
+        if (out_.freeSpace() < need)
+            return;
+        for (const RecordT &r : g.records) {
+            out_.push(r);
+            ++recordsOut_;
+        }
+        if (g.terminal)
+            out_.push(RecordT::terminal());
+        pipeline_.pop_front();
+    }
+
+    bool
+    pipelineBlocked(sim::Cycle now) const
+    {
+        // The network accepts one tuple per cycle; if a ready group is
+        // still waiting on output space, the whole pipeline stalls.
+        return !pipeline_.empty() && pipeline_.front().ready <= now;
+    }
+
+    void
+    consumeLeadingTerminals()
+    {
+        if (!aEnded_ && !inA_.empty() && inA_.front().isTerminal()) {
+            inA_.pop();
+            aEnded_ = true;
+        }
+        if (!bEnded_ && !inB_.empty() && inB_.front().isTerminal()) {
+            inB_.pop();
+            bEnded_ = true;
+        }
+    }
+
+    /**
+     * A tuple is ready on @p in when k records are visible or a
+     * terminal appears among the first k (short tuple at run end).
+     */
+    bool
+    tupleReady(const sim::Fifo<RecordT> &in) const
+    {
+        const std::size_t limit = std::min<std::size_t>(in.size(), k_);
+        for (std::size_t i = 0; i < limit; ++i) {
+            if (in.peek(i).isTerminal())
+                return true;
+        }
+        return in.size() >= k_;
+    }
+
+    /** Pop up to k records (stopping at / consuming a terminal). */
+    std::vector<RecordT>
+    popTuple(sim::Fifo<RecordT> &in, bool &ended)
+    {
+        std::vector<RecordT> tuple;
+        tuple.reserve(k_);
+        while (tuple.size() < k_ && !in.empty()) {
+            if (in.front().isTerminal()) {
+                in.pop();
+                ended = true;
+                break;
+            }
+            tuple.push_back(in.pop());
+        }
+        return tuple;
+    }
+
+    /** Merge @p tuple into the accumulator, emit all but the k largest. */
+    void
+    absorb(sim::Cycle now, std::vector<RecordT> &&tuple)
+    {
+        scratch_.clear();
+        scratch_.insert(scratch_.end(), acc_.begin(), acc_.end());
+        const std::size_t mid = scratch_.size();
+        scratch_.insert(scratch_.end(), tuple.begin(), tuple.end());
+        std::inplace_merge(scratch_.begin(), scratch_.begin() + mid,
+                           scratch_.end());
+        const std::size_t total = scratch_.size();
+        const std::size_t emit = total > k_ ? total - k_ : 0;
+        Group g;
+        g.ready = now + latency_;
+        g.records.assign(scratch_.begin(), scratch_.begin() + emit);
+        acc_.assign(scratch_.begin() + emit, scratch_.end());
+        if (!g.records.empty())
+            pipeline_.push_back(std::move(g));
+    }
+
+    void
+    mergeStep(sim::Cycle now)
+    {
+        const bool ready_a = tupleReady(inA_);
+        const bool ready_b = tupleReady(inB_);
+        if (!ready_a || !ready_b) {
+            ++stallCycles_;
+            return;
+        }
+        // Equal heads alternate sides: a fixed tie-break would drain
+        // one input at twice its refill rate on low-entropy keys
+        // (long equal-key runs) and stall the tree on starvation.
+        bool pick_a;
+        if (inA_.front() < inB_.front()) {
+            pick_a = true;
+        } else if (inB_.front() < inA_.front()) {
+            pick_a = false;
+        } else {
+            pick_a = tieToggle_;
+            tieToggle_ = !tieToggle_;
+        }
+        sim::Fifo<RecordT> &src = pick_a ? inA_ : inB_;
+        bool &ended = pick_a ? aEnded_ : bEnded_;
+        absorb(now, popTuple(src, ended));
+    }
+
+    void
+    drainStep(sim::Cycle now, sim::Fifo<RecordT> &src, bool &ended)
+    {
+        if (!tupleReady(src)) {
+            ++stallCycles_;
+            return;
+        }
+        absorb(now, popTuple(src, ended));
+    }
+
+    void
+    flushStep(sim::Cycle now)
+    {
+        Group g;
+        g.ready = now + latency_;
+        const std::size_t emit = std::min<std::size_t>(acc_.size(), k_);
+        g.records.assign(acc_.begin(), acc_.begin() + emit);
+        acc_.erase(acc_.begin(), acc_.begin() + emit);
+        if (acc_.empty()) {
+            g.terminal = true;
+            aEnded_ = false;
+            bEnded_ = false;
+            ++flushes_;
+        }
+        pipeline_.push_back(std::move(g));
+    }
+
+    const unsigned k_;
+    sim::Fifo<RecordT> &inA_;
+    sim::Fifo<RecordT> &inB_;
+    sim::Fifo<RecordT> &out_;
+    const sim::Cycle latency_;
+
+    std::vector<RecordT> acc_;     ///< sorted leftover records (<= k)
+    std::vector<RecordT> scratch_; ///< merge workspace
+    std::deque<Group> pipeline_;   ///< models the half-merger latency
+    bool aEnded_ = false;
+    bool bEnded_ = false;
+    bool tieToggle_ = true; ///< alternating equal-key side selection
+
+    std::uint64_t stallCycles_ = 0;
+    std::uint64_t recordsOut_ = 0;
+    std::uint64_t flushes_ = 0;
+};
+
+} // namespace bonsai::hw
+
+#endif // BONSAI_HW_MERGER_HPP

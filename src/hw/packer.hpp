@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Packer / Unpacker blocks (paper Figure 7): "the communication
+ * between the sorting kernel and the DDR controller is always through
+ * a 512-bit wide AXI-4 interface, regardless of the record width: the
+ * Unpacker will extract one record from the 512-bit FIFOs per cycle
+ * automatically once the record width is set by the user and the
+ * packer will concatenate the output of the merge tree into 512-bit
+ * wide data."
+ *
+ * The simulator models the AXI word stream as a count of words; the
+ * record payloads ride alongside.  Unpacker: words in, records out at
+ * the configured records-per-word rate.  Packer: records in, words
+ * out, flushing a partial word at each run boundary (terminals pass
+ * through as boundary markers so the writer can still see runs).
+ */
+
+#ifndef BONSAI_HW_PACKER_HPP
+#define BONSAI_HW_PACKER_HPP
+
+#include <cassert>
+#include <string>
+
+#include "sim/component.hpp"
+#include "sim/fifo.hpp"
+
+namespace bonsai::hw
+{
+
+/**
+ * Unpacker: consumes one 512-bit word per cycle from the word-stream
+ * FIFO, emitting its records.  The word FIFO carries the records of
+ * each word contiguously; @p records_per_word of them form one word.
+ */
+template <typename RecordT>
+class Unpacker : public sim::Component
+{
+  public:
+    Unpacker(std::string name, unsigned records_per_word,
+             sim::Fifo<RecordT> &in, sim::Fifo<RecordT> &out)
+        : Component(std::move(name)),
+          recordsPerWord_(records_per_word), in_(in), out_(out)
+    {
+        assert(records_per_word >= 1);
+    }
+
+    void
+    tick(sim::Cycle) override
+    {
+        // One word per cycle, and only when the whole word fits.
+        if (out_.freeSpace() < recordsPerWord_)
+            return;
+        for (unsigned i = 0; i < recordsPerWord_; ++i) {
+            if (in_.empty())
+                return;
+            out_.push(in_.pop());
+            ++recordsMoved_;
+        }
+        ++wordsMoved_;
+    }
+
+    std::uint64_t wordsMoved() const { return wordsMoved_; }
+    std::uint64_t recordsMoved() const { return recordsMoved_; }
+
+  private:
+    const unsigned recordsPerWord_;
+    sim::Fifo<RecordT> &in_;
+    sim::Fifo<RecordT> &out_;
+    std::uint64_t wordsMoved_ = 0;
+    std::uint64_t recordsMoved_ = 0;
+};
+
+/**
+ * Packer: concatenates tree-output records into 512-bit words, one
+ * word per cycle.  A terminal record flushes the partial word (the
+ * run boundary must not straddle words on the way to DRAM) and is
+ * forwarded so the writer can record the boundary.
+ */
+template <typename RecordT>
+class Packer : public sim::Component
+{
+  public:
+    Packer(std::string name, unsigned records_per_word,
+           sim::Fifo<RecordT> &in, sim::Fifo<RecordT> &out)
+        : Component(std::move(name)),
+          recordsPerWord_(records_per_word), in_(in), out_(out)
+    {
+        assert(records_per_word >= 1);
+    }
+
+    void
+    tick(sim::Cycle) override
+    {
+        if (out_.freeSpace() < recordsPerWord_ + 1)
+            return;
+        // Fill the current word; a word may take several cycles to
+        // fill when the tree output is slower than one word/cycle.
+        while (fill_ < recordsPerWord_ && !in_.empty()) {
+            const RecordT r = in_.pop();
+            if (r.isTerminal()) {
+                // Flush the partial word and emit the boundary.
+                out_.push(r);
+                if (fill_ > 0)
+                    ++wordsMoved_; // padded partial word
+                fill_ = 0;
+                ++flushes_;
+                return;
+            }
+            out_.push(r);
+            ++recordsMoved_;
+            ++fill_;
+        }
+        if (fill_ == recordsPerWord_) {
+            ++wordsMoved_;
+            fill_ = 0;
+        }
+    }
+
+    std::uint64_t wordsMoved() const { return wordsMoved_; }
+    std::uint64_t recordsMoved() const { return recordsMoved_; }
+    std::uint64_t flushes() const { return flushes_; }
+
+    bool quiescent() const override { return fill_ == 0; }
+
+  private:
+    const unsigned recordsPerWord_;
+    sim::Fifo<RecordT> &in_;
+    sim::Fifo<RecordT> &out_;
+    std::uint64_t wordsMoved_ = 0;
+    std::uint64_t recordsMoved_ = 0;
+    std::uint64_t flushes_ = 0;
+    unsigned fill_ = 0;
+};
+
+} // namespace bonsai::hw
+
+#endif // BONSAI_HW_PACKER_HPP

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Presorter: a w-record bitonic sorting network that turns the unsorted
+ * input stream into w-record sorted runs before the first merge stage
+ * (paper Section VI-C1; w = 16 in the DRAM sorter).  Saves one merge
+ * stage and 10-20% of total sort time.
+ *
+ * The end-to-end simulator applies presorting inside the data loader
+ * (where the stream forms); this standalone component exists for unit
+ * tests and mirrors the hardware block for resource accounting.
+ */
+
+#ifndef BONSAI_HW_PRESORTER_HPP
+#define BONSAI_HW_PRESORTER_HPP
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "hw/bitonic.hpp"
+#include "sim/component.hpp"
+#include "sim/fifo.hpp"
+
+namespace bonsai::hw
+{
+
+template <typename RecordT>
+class Presorter : public sim::Component
+{
+  public:
+    /**
+     * @param width Records consumed/produced per cycle.
+     * @param chunk Run size formed (power of two, e.g. 16).
+     * @param append_terminals Emit a terminal after each chunk.
+     */
+    Presorter(std::string name, unsigned width, unsigned chunk,
+              sim::Fifo<RecordT> &in, sim::Fifo<RecordT> &out,
+              bool append_terminals = true)
+        : Component(std::move(name)), width_(width), chunk_(chunk),
+          in_(in), out_(out), appendTerminals_(append_terminals)
+    {
+        assert(isPow2(chunk));
+        pending_.reserve(chunk);
+    }
+
+    void
+    tick(sim::Cycle) override
+    {
+        for (unsigned i = 0; i < width_; ++i) {
+            // Emit staged sorted output first (same-rate pipeline).
+            if (!staged_.empty()) {
+                if (out_.full())
+                    return;
+                out_.push(staged_.front());
+                staged_.erase(staged_.begin());
+                continue;
+            }
+            if (in_.empty())
+                return;
+            pending_.push_back(in_.pop());
+            if (pending_.size() == chunk_)
+                flushChunk();
+        }
+    }
+
+    /** Sort and stage whatever is pending (for stream tails). */
+    void
+    flushTail()
+    {
+        if (!pending_.empty())
+            flushChunk();
+    }
+
+    bool
+    quiescent() const override
+    {
+        return pending_.empty() && staged_.empty();
+    }
+
+  private:
+    void
+    flushChunk()
+    {
+        if (isPow2(pending_.size())) {
+            bitonicSortNetwork(std::span<RecordT>(pending_));
+        } else {
+            std::sort(pending_.begin(), pending_.end());
+        }
+        staged_.insert(staged_.end(), pending_.begin(), pending_.end());
+        if (appendTerminals_)
+            staged_.push_back(RecordT::terminal());
+        pending_.clear();
+    }
+
+    const unsigned width_;
+    const unsigned chunk_;
+    sim::Fifo<RecordT> &in_;
+    sim::Fifo<RecordT> &out_;
+    const bool appendTerminals_;
+
+    std::vector<RecordT> pending_;
+    std::vector<RecordT> staged_;
+};
+
+} // namespace bonsai::hw
+
+#endif // BONSAI_HW_PRESORTER_HPP

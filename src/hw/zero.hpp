@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Zero-append and zero-filter blocks (paper Section V-B, Figure 7).
+ *
+ * The zero-append inserts the reserved terminal record after each sorted
+ * run entering a leaf buffer; the zero-filter removes terminal records
+ * from the tree root's output stream while reporting run boundaries to
+ * the writer.  In this simulator the data loader performs the append
+ * inline (it knows run boundaries), so ZeroAppend is provided for unit
+ * tests and resource accounting; ZeroFilter sits on the root output.
+ */
+
+#ifndef BONSAI_HW_ZERO_HPP
+#define BONSAI_HW_ZERO_HPP
+
+#include <string>
+
+#include "sim/component.hpp"
+#include "sim/fifo.hpp"
+
+namespace bonsai::hw
+{
+
+/**
+ * Appends one terminal record after every @p run_length records.
+ * Forwards up to @p width records per cycle.
+ */
+template <typename RecordT>
+class ZeroAppend : public sim::Component
+{
+  public:
+    ZeroAppend(std::string name, unsigned width, std::uint64_t run_length,
+               sim::Fifo<RecordT> &in, sim::Fifo<RecordT> &out)
+        : Component(std::move(name)), width_(width),
+          runLength_(run_length), in_(in), out_(out)
+    {
+    }
+
+    void
+    tick(sim::Cycle) override
+    {
+        for (unsigned i = 0; i < width_; ++i) {
+            if (out_.full())
+                return;
+            if (sinceTerminal_ == runLength_) {
+                out_.push(RecordT::terminal());
+                sinceTerminal_ = 0;
+                continue;
+            }
+            if (in_.empty())
+                return;
+            out_.push(in_.pop());
+            ++sinceTerminal_;
+        }
+    }
+
+  private:
+    const unsigned width_;
+    const std::uint64_t runLength_;
+    sim::Fifo<RecordT> &in_;
+    sim::Fifo<RecordT> &out_;
+    std::uint64_t sinceTerminal_ = 0;
+};
+
+/**
+ * Strips terminal records from the root output stream, counting run
+ * boundaries; forwards up to @p width records per cycle.
+ */
+template <typename RecordT>
+class ZeroFilter : public sim::Component
+{
+  public:
+    ZeroFilter(std::string name, unsigned width, sim::Fifo<RecordT> &in,
+               sim::Fifo<RecordT> &out)
+        : Component(std::move(name)), width_(width), in_(in), out_(out)
+    {
+    }
+
+    void
+    tick(sim::Cycle) override
+    {
+        for (unsigned i = 0; i < width_; ++i) {
+            if (in_.empty() || out_.full())
+                return;
+            RecordT r = in_.pop();
+            if (r.isTerminal()) {
+                ++runsSeen_;
+                continue;
+            }
+            out_.push(r);
+        }
+    }
+
+    /** Number of terminal records filtered (= completed runs). */
+    std::uint64_t runsSeen() const { return runsSeen_; }
+
+  private:
+    const unsigned width_;
+    sim::Fifo<RecordT> &in_;
+    sim::Fifo<RecordT> &out_;
+    std::uint64_t runsSeen_ = 0;
+};
+
+} // namespace bonsai::hw
+
+#endif // BONSAI_HW_ZERO_HPP

@@ -1,0 +1,38 @@
+#include "model/merger_costs.hpp"
+
+#include <algorithm>
+
+#include "amt/synth_estimate.hpp"
+
+namespace bonsai::model
+{
+
+MergerCosts
+costsForWidth(unsigned record_bits)
+{
+    if (record_bits == 32)
+        return costs32();
+    if (record_bits == 128)
+        return costs128();
+    MergerCosts c;
+    c.recordBits = record_bits;
+    // Records wider than the 512-bit datapath are handled by
+    // bit-serial comparators (Section II): the comparator logic stays
+    // at the 512-bit size (plus a serializer allowance) and the
+    // performance model charges the serialization factor instead.
+    const unsigned logic_bits = std::min(record_bits, 512u);
+    const unsigned overhead_pct = record_bits > 512 ? 10 : 0;
+    for (unsigned i = 0; i < 6; ++i) {
+        const unsigned k = 1u << i;
+        c.merger[i] = amt::mergerStructLut(k, logic_bits) *
+            (100 + overhead_pct) / 100;
+        if (i >= 1) {
+            c.coupler[i] = amt::couplerStructLut(k, logic_bits) *
+                (100 + overhead_pct) / 100;
+        }
+    }
+    c.fifo = amt::fifoStructLut(logic_bits);
+    return c;
+}
+
+} // namespace bonsai::model

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-building-block LUT costs (paper Table VI) and throughputs.
+ *
+ * The paper treats mergers and couplers as black boxes whose measured
+ * resource utilization and frequency are *inputs* to the model
+ * (Table II(c)); Table VI reports the synthesized LUT counts for 32-bit
+ * and 128-bit records.  We encode those two calibration tables and
+ * interpolate other record widths with the structural formulas from
+ * amt/synth_estimate.hpp (CAS-count based), which match the calibration
+ * points to within ~10%.
+ */
+
+#ifndef BONSAI_MODEL_MERGER_COSTS_HPP
+#define BONSAI_MODEL_MERGER_COSTS_HPP
+
+#include <cstdint>
+
+namespace bonsai::model
+{
+
+/**
+ * LUT costs of the AMT building blocks for one record width.
+ * Index i holds the cost of the 2^i variant (merger index 0..5 for
+ * 1..32-mergers; coupler index 1..5 for 2..32-couplers).
+ */
+struct MergerCosts
+{
+    unsigned recordBits = 32;
+    std::uint64_t merger[6] = {};  ///< m_k for k = 1,2,4,8,16,32
+    std::uint64_t coupler[6] = {}; ///< c_k for k = 2..32 (index 0 unused)
+    std::uint64_t fifo = 0;        ///< leaf FIFO / "1-coupler"
+
+    /** m_k (k must be a power of two <= 32). */
+    std::uint64_t
+    mergerLut(unsigned k) const
+    {
+        unsigned i = 0;
+        while ((1u << i) < k)
+            ++i;
+        return merger[i];
+    }
+
+    /** c_k, with c_1 = the plain FIFO (paper Figure 7's leaf FIFOs). */
+    std::uint64_t
+    couplerLut(unsigned k) const
+    {
+        if (k <= 1)
+            return fifo;
+        unsigned i = 0;
+        while ((1u << i) < k)
+            ++i;
+        return coupler[i];
+    }
+};
+
+/** Table VI(a): 32-bit records. */
+constexpr MergerCosts
+costs32()
+{
+    MergerCosts c;
+    c.recordBits = 32;
+    c.merger[0] = 300;
+    c.merger[1] = 622;
+    c.merger[2] = 1555;
+    c.merger[3] = 3620;
+    c.merger[4] = 8500;
+    c.merger[5] = 18853;
+    c.coupler[1] = 142;
+    c.coupler[2] = 273;
+    c.coupler[3] = 530;
+    c.coupler[4] = 1047;
+    c.coupler[5] = 2079;
+    c.fifo = 50;
+    return c;
+}
+
+/** Table VI(b): 128-bit records. */
+constexpr MergerCosts
+costs128()
+{
+    MergerCosts c;
+    c.recordBits = 128;
+    c.merger[0] = 1016;
+    c.merger[1] = 2210;
+    c.merger[2] = 5604;
+    c.merger[3] = 13051;
+    c.merger[4] = 29970;
+    c.merger[5] = 77732;
+    c.coupler[1] = 576;
+    c.coupler[2] = 1938;
+    c.coupler[3] = 2081;
+    c.coupler[4] = 4142;
+    c.coupler[5] = 8266;
+    c.fifo = 134;
+    return c;
+}
+
+/**
+ * Costs for an arbitrary record width in bits: returns the calibration
+ * table if one exists, otherwise the structural estimate (declared in
+ * amt/synth_estimate.hpp and re-exported here to keep a single entry
+ * point for the optimizer).
+ */
+MergerCosts costsForWidth(unsigned record_bits);
+
+} // namespace bonsai::model
+
+#endif // BONSAI_MODEL_MERGER_COSTS_HPP

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Analytical performance model (paper Section III-A, Equations 1-7).
+ *
+ * Core quantities for an AMT(p, ell) configuration sorting N records of
+ * r bytes at frequency f against off-chip bandwidth beta:
+ *
+ *   stages          = ceil(log_ell(N / s0))   (s0 = presorted run length)
+ *   stage time      = N*r / min(p*f*r, beta_effective)
+ *   latency (Eq. 2) = N*r * ceil(log_ell(N/lambda_unrl))
+ *                       / min(p*f*r, beta_dram / lambda_unrl)
+ *   pipeline throughput (Eq. 3)
+ *                   = min(p*f*r, beta_dram/lambda_pipe, beta_io)
+ *   combined (Eqs. 6-7) for lambda_pipe-pipelined, lambda_unrl-unrolled.
+ *
+ * Stage counts are computed with exact integer arithmetic (smallest t
+ * with s0 * ell^t >= N), avoiding floating-point log pitfalls.
+ */
+
+#ifndef BONSAI_MODEL_PERF_MODEL_HPP
+#define BONSAI_MODEL_PERF_MODEL_HPP
+
+#include <algorithm>
+#include <cstdint>
+
+#include "amt/config.hpp"
+#include "model/params.hpp"
+
+namespace bonsai::model
+{
+
+/**
+ * Number of merge stages to sort @p n records with an ell-way tree
+ * starting from sorted runs of @p initial_run records.
+ */
+constexpr unsigned
+mergeStages(std::uint64_t n, unsigned ell, std::uint64_t initial_run = 1)
+{
+    std::uint64_t run = initial_run == 0 ? 1 : initial_run;
+    if (n <= run)
+        return 0;
+    unsigned stages = 0;
+    // run *= ell per stage, with overflow guarding for TB-scale N.
+    while (run < n) {
+        if (run > n / ell + 1)
+            run = n; // would overflow; one more stage finishes anyway
+        else
+            run *= ell;
+        ++stages;
+    }
+    return stages;
+}
+
+/** Tree throughput p*f*r in bytes per second. */
+constexpr double
+treeThroughput(unsigned p, double frequency_hz,
+               std::uint64_t record_bytes)
+{
+    return static_cast<double>(p) * frequency_hz *
+        static_cast<double>(record_bytes);
+}
+
+/**
+ * Serialization factor for records wider than the parallel compare
+ * units (Section II's bit-serial comparator fallback): each CAS takes
+ * this many cycles per record, dividing tree throughput.
+ */
+constexpr unsigned
+serialFactor(std::uint64_t record_bytes, unsigned max_compare_bits)
+{
+    if (max_compare_bits == 0)
+        return 1;
+    const std::uint64_t bits = record_bytes * 8;
+    const std::uint64_t factor =
+        (bits + max_compare_bits - 1) / max_compare_bits;
+    return factor == 0 ? 1 : static_cast<unsigned>(factor);
+}
+
+/** Effective tree throughput including wide-record serialization and
+ *  (when enabled) the routing-congestion frequency derate for large
+ *  ell (Section VI-C1). */
+constexpr double
+effectiveTreeThroughput(unsigned p, const MergerArchParams &arch,
+                        std::uint64_t record_bytes, unsigned ell = 1)
+{
+    return treeThroughput(p, effectiveFrequency(arch, ell),
+                          record_bytes) /
+        serialFactor(record_bytes, arch.maxCompareBits);
+}
+
+/** Performance summary of a configuration on a problem. */
+struct PerfEstimate
+{
+    unsigned stages = 0;        ///< merge stages per tree
+    double stageSeconds = 0.0;  ///< time per stage
+    double latencySeconds = 0.0;
+    double throughputBytesPerSec = 0.0;
+    double effectiveBandwidth = 0.0; ///< bytes/s the trees can draw
+};
+
+/**
+ * Latency of a lambda_unrl-unrolled AMT(p, ell) configuration
+ * (Equation 2; Equation 1 is the lambda_unrl = 1 case), with the
+ * presorter shaving stage count per Section VI-C1.
+ */
+inline PerfEstimate
+latencyEstimate(const BonsaiInputs &in, const amt::AmtConfig &cfg)
+{
+    PerfEstimate est;
+    const std::uint64_t per_tree =
+        (in.array.n + cfg.lambdaUnrl - 1) / cfg.lambdaUnrl;
+    est.stages = mergeStages(per_tree, cfg.ell,
+                             in.arch.presortRunLength);
+    est.effectiveBandwidth = in.hw.betaDram / cfg.lambdaUnrl;
+    const double rate =
+        std::min(effectiveTreeThroughput(cfg.p, in.arch,
+                                         in.array.recordBytes,
+                                         cfg.ell),
+                 est.effectiveBandwidth);
+    est.stageSeconds =
+        static_cast<double>(in.array.totalBytes()) /
+        (rate * cfg.lambdaUnrl);
+    est.latencySeconds = est.stageSeconds * est.stages;
+    est.throughputBytesPerSec = est.latencySeconds > 0.0
+        ? static_cast<double>(in.array.totalBytes()) /
+            est.latencySeconds
+        : 0.0;
+    return est;
+}
+
+/**
+ * Throughput of a lambda_pipe-pipelined, lambda_unrl-unrolled
+ * configuration (Equations 3-7).
+ */
+inline PerfEstimate
+pipelineEstimate(const BonsaiInputs &in, const amt::AmtConfig &cfg)
+{
+    PerfEstimate est;
+    est.stages = cfg.lambdaPipe;
+    est.effectiveBandwidth =
+        in.hw.betaDram / (cfg.lambdaPipe * cfg.lambdaUnrl);
+    const double per_pipe = std::min(
+        {effectiveTreeThroughput(cfg.p, in.arch,
+                                 in.array.recordBytes, cfg.ell),
+         est.effectiveBandwidth, in.hw.betaIo});
+    est.throughputBytesPerSec = cfg.lambdaUnrl * per_pipe;
+    est.latencySeconds = static_cast<double>(in.array.totalBytes()) *
+        cfg.lambdaPipe / (per_pipe * cfg.lambdaUnrl);
+    est.stageSeconds = est.latencySeconds / cfg.lambdaPipe;
+    return est;
+}
+
+/**
+ * Largest N a lambda_pipe-pipelined AMT(p, ell) can sort (Equation 5):
+ * min(C_DRAM / lambda_pipe / r, (presort run) * ell^lambda_pipe).
+ */
+constexpr std::uint64_t
+pipelineCapacityRecords(const BonsaiInputs &in, const amt::AmtConfig &cfg)
+{
+    std::uint64_t cap_mem = in.hw.cDram /
+        (cfg.lambdaPipe * in.array.recordBytes * cfg.lambdaUnrl);
+    // ell^lambda_pipe with saturation.
+    std::uint64_t cap_stages = in.arch.presortRunLength
+        ? in.arch.presortRunLength : 1;
+    for (unsigned s = 0; s < cfg.lambdaPipe; ++s) {
+        if (cap_stages > cap_mem / cfg.ell + 1) {
+            cap_stages = cap_mem; // saturate: memory is the binding cap
+            break;
+        }
+        cap_stages *= cfg.ell;
+    }
+    return cap_mem < cap_stages ? cap_mem : cap_stages;
+}
+
+} // namespace bonsai::model
+
+#endif // BONSAI_MODEL_PERF_MODEL_HPP

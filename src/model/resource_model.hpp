@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Resource utilization model (paper Section III-B, Equations 8-10).
+ *
+ * Predicted LUTs of an AMT(p, ell) follow Equation 8:
+ *
+ *     LUT(p, ell) = sum_{n=0}^{log2(ell)-1} 2^n (m_k(n) + 2 c_k(n)),
+ *     k(n) = max(p / 2^n, 1),  c_1 := leaf FIFO cost,
+ *
+ * i.e. each tree level contributes its mergers plus the two couplers
+ * (or leaf FIFOs at k = 1) feeding each merger.  On-chip memory follows
+ * Equation 10 (b * ell input buffer bytes per tree), refined with the
+ * Table IV calibrated BRAM-block model so the optimizer sees the same
+ * ell <= 256 feasibility wall the paper reports for the AWS F1.
+ */
+
+#ifndef BONSAI_MODEL_RESOURCE_MODEL_HPP
+#define BONSAI_MODEL_RESOURCE_MODEL_HPP
+
+#include <cstdint>
+
+#include "amt/config.hpp"
+#include "amt/synth_estimate.hpp"
+#include "amt/tree.hpp"
+#include "model/merger_costs.hpp"
+#include "model/params.hpp"
+
+namespace bonsai::model
+{
+
+/** Resource usage of one sorter configuration. */
+struct ResourceEstimate
+{
+    std::uint64_t treeLut = 0;      ///< mergers + couplers + leaf FIFOs
+    std::uint64_t presorterLut = 0;
+    std::uint64_t dataLoaderLut = 0;
+    std::uint64_t treeFf = 0;
+    std::uint64_t presorterFf = 0;
+    std::uint64_t dataLoaderFf = 0;
+    std::uint64_t bramBlocks = 0;   ///< 36 Kb blocks (leaf buffers)
+    std::uint64_t bufferBytes = 0;  ///< Equation 10 left-hand side
+
+    std::uint64_t
+    totalLut() const
+    {
+        return treeLut + presorterLut + dataLoaderLut;
+    }
+
+    std::uint64_t
+    totalFf() const
+    {
+        return treeFf + presorterFf + dataLoaderFf;
+    }
+};
+
+/** Equation 8: predicted LUTs of a single AMT(p, ell). */
+inline std::uint64_t
+predictTreeLut(unsigned p, unsigned ell, const MergerCosts &costs)
+{
+    std::uint64_t total = 0;
+    const unsigned depth_count = hw::log2Exact(ell);
+    for (unsigned n = 0; n < depth_count; ++n) {
+        const unsigned k = std::max(p >> n, 1u);
+        const std::uint64_t nodes = 1ULL << n;
+        total += nodes * (costs.mergerLut(k) + 2 * costs.couplerLut(k));
+    }
+    return total;
+}
+
+/**
+ * Full sorter resource estimate for a configuration (all
+ * lambda_pipe * lambda_unrl trees plus presorter and data loader),
+ * using the Equation-8 model ("predicted").
+ */
+inline ResourceEstimate
+predictResources(const BonsaiInputs &in, const amt::AmtConfig &cfg,
+                 bool with_presorter = true)
+{
+    const unsigned record_bits =
+        static_cast<unsigned>(in.array.recordBytes * 8);
+    // Bit-serial comparators keep the datapath logic at 512 bits for
+    // wider records (Section II).
+    const unsigned logic_bits = record_bits > 512 ? 512 : record_bits;
+    const MergerCosts costs = costsForWidth(record_bits);
+    const unsigned trees = amt::treeCount(cfg);
+    ResourceEstimate est;
+    est.treeLut = trees * predictTreeLut(cfg.p, cfg.ell, costs);
+    const amt::TreeShape shape = amt::makeTreeShape(cfg.p, cfg.ell);
+    est.treeFf = trees * amt::treeStructFf(shape, logic_bits);
+    if (with_presorter && in.arch.presortRunLength > 1) {
+        est.presorterLut =
+            trees * amt::presorterStructLut(cfg.p, logic_bits);
+        est.presorterFf =
+            trees * amt::presorterStructFf(cfg.p, logic_bits);
+    }
+    est.dataLoaderLut = trees * amt::dataLoaderStructLut(cfg.ell);
+    est.dataLoaderFf = trees * amt::dataLoaderStructFf(cfg.ell);
+    est.bramBlocks = trees *
+        amt::dataLoaderBramBlocks(cfg.ell, in.hw.batchBytes);
+    est.bufferBytes = static_cast<std::uint64_t>(trees) * cfg.ell *
+        in.hw.batchBytes;
+    return est;
+}
+
+/** FPGA BRAM capacity expressed in 36 Kb blocks. */
+inline std::uint64_t
+bramBlockCapacity(const HardwareParams &hw)
+{
+    return hw.cBramBytes / (36864 / 8);
+}
+
+/** Smallest batch that still reaches peak DRAM bandwidth (Section II:
+ *  reads and writes must be batched into 1-4 KB chunks). */
+inline constexpr std::uint64_t kMinBatchBytes = 1024;
+
+/**
+ * Largest batch size (halving from hw.batchBytes down to 1 KB) whose
+ * leaf buffers fit on-chip memory for this configuration; 0 if none
+ * does.  This is how Equation 10 trades b against ell.
+ */
+inline std::uint64_t
+feasibleBatchBytes(const BonsaiInputs &in, const amt::AmtConfig &cfg)
+{
+    const unsigned trees = amt::treeCount(cfg);
+    const std::uint64_t cap_blocks = bramBlockCapacity(in.hw);
+    for (std::uint64_t b = in.hw.batchBytes; b >= kMinBatchBytes;
+         b /= 2) {
+        const std::uint64_t blocks =
+            trees * amt::dataLoaderBramBlocks(cfg.ell, b);
+        const std::uint64_t bytes =
+            static_cast<std::uint64_t>(trees) * cfg.ell * b;
+        if (blocks <= cap_blocks && bytes <= in.hw.cBramBytes)
+            return b;
+    }
+    return 0;
+}
+
+/**
+ * Equations 9-10: does the configuration fit on chip?  Logic must fit
+ * C_LUT and the data-loader buffers must fit on-chip memory for some
+ * legal batch size.
+ */
+inline bool
+fits(const BonsaiInputs &in, const amt::AmtConfig &cfg,
+     bool with_presorter = true)
+{
+    const ResourceEstimate est = predictResources(in, cfg, with_presorter);
+    if (est.totalLut() > in.hw.cLut)
+        return false;
+    return feasibleBatchBytes(in, cfg) != 0;
+}
+
+} // namespace bonsai::model
+
+#endif // BONSAI_MODEL_RESOURCE_MODEL_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Base class for clocked components in the cycle-level simulator.
+ *
+ * The simulator advances all components by one cycle per engine step.
+ * Components communicate exclusively through bounded Fifo channels, so
+ * tick order only shifts hop latencies by at most one cycle and never
+ * affects functional behaviour.
+ */
+
+#ifndef BONSAI_SIM_COMPONENT_HPP
+#define BONSAI_SIM_COMPONENT_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace bonsai::sim
+{
+
+/** Simulation time in cycles. */
+using Cycle = std::uint64_t;
+
+/** A clocked hardware block. */
+class Component
+{
+  public:
+    explicit Component(std::string name) : name_(std::move(name)) {}
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    /** Advance one clock cycle. */
+    virtual void tick(Cycle now) = 0;
+
+    /**
+     * True when the component has no buffered state left to emit.  The
+     * engine's convergence check uses this to decide when a run is
+     * complete.
+     */
+    virtual bool quiescent() const { return true; }
+
+    /** Instance name, used in stats and traces. */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace bonsai::sim
+
+#endif // BONSAI_SIM_COMPONENT_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cycle-driven simulation engine.
+ *
+ * The engine owns nothing; it ticks registered components in
+ * registration order, one cycle at a time, until a user-supplied
+ * completion predicate holds (or a cycle budget is exhausted, which is
+ * reported as a deadlock/runaway error to the caller).
+ */
+
+#ifndef BONSAI_SIM_ENGINE_HPP
+#define BONSAI_SIM_ENGINE_HPP
+
+#include <functional>
+#include <vector>
+
+#include "sim/component.hpp"
+
+namespace bonsai::sim
+{
+
+class SimEngine
+{
+  public:
+    /** Register a component; ticked in registration order. */
+    void add(Component *c) { components_.push_back(c); }
+
+    /** Current cycle count. */
+    Cycle now() const { return now_; }
+
+    /** Result of a run() call. */
+    struct RunResult
+    {
+        Cycle cycles = 0;     ///< Cycles elapsed during this run.
+        bool finished = false; ///< Completion predicate became true.
+    };
+
+    /**
+     * Tick all components until @p finished returns true.
+     *
+     * @param finished Completion predicate, evaluated after each cycle.
+     * @param max_cycles Budget; exceeding it returns finished = false.
+     */
+    RunResult
+    run(const std::function<bool()> &finished, Cycle max_cycles)
+    {
+        Cycle start = now_;
+        while (now_ - start < max_cycles) {
+            for (Component *c : components_)
+                c->tick(now_);
+            ++now_;
+            if (finished())
+                return {now_ - start, true};
+        }
+        return {now_ - start, false};
+    }
+
+  private:
+    std::vector<Component *> components_;
+    Cycle now_ = 0;
+};
+
+} // namespace bonsai::sim
+
+#endif // BONSAI_SIM_ENGINE_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bounded FIFO channel between clocked components.
+ *
+ * Models the 512-bit-wide record FIFOs of the design (Figure 7).  The
+ * capacity is expressed in records; producers check freeSpace() before
+ * pushing and consumers check size() before popping, which is how
+ * back-pressure (AMT stalls on empty input buffers, Section V-A) arises
+ * in the simulation.
+ */
+
+#ifndef BONSAI_SIM_FIFO_HPP
+#define BONSAI_SIM_FIFO_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+
+namespace bonsai::sim
+{
+
+template <typename T>
+class Fifo
+{
+  public:
+    /** @param capacity Maximum number of elements held. */
+    explicit Fifo(std::size_t capacity) : capacity_(capacity)
+    {
+        assert(capacity > 0);
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return items_.size(); }
+    std::size_t freeSpace() const { return capacity_ - items_.size(); }
+    bool empty() const { return items_.empty(); }
+    bool full() const { return items_.size() == capacity_; }
+
+    /** Push one element; the caller must have checked freeSpace(). */
+    void
+    push(const T &item)
+    {
+        assert(!full());
+        items_.push_back(item);
+    }
+
+    /** Front element; the caller must have checked !empty(). */
+    const T &
+    front() const
+    {
+        assert(!empty());
+        return items_.front();
+    }
+
+    /** Element at offset @p i from the front (for tuple peeking). */
+    const T &
+    peek(std::size_t i) const
+    {
+        assert(i < items_.size());
+        return items_[i];
+    }
+
+    /** Pop and return the front element. */
+    T
+    pop()
+    {
+        assert(!empty());
+        T item = items_.front();
+        items_.pop_front();
+        return item;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+};
+
+} // namespace bonsai::sim
+
+#endif // BONSAI_SIM_FIFO_HPP

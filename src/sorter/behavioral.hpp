@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Behavioral sorter: executes the AMT's exact multistage merge plan in
+ * software (presort into 16-record runs with the bitonic network, then
+ * ceil(log_ell(N/16)) stages of ell-way merges per the shared
+ * StagePlan).  Produces buffers bit-identical to the cycle simulator
+ * at a tiny fraction of the cost — used for GB-scale validation, the
+ * large experiment sweeps, and live CPU comparisons.
+ */
+
+#ifndef BONSAI_SORTER_BEHAVIORAL_HPP
+#define BONSAI_SORTER_BEHAVIORAL_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/run.hpp"
+#include "hw/bitonic.hpp"
+#include "sorter/loser_tree.hpp"
+#include "sorter/stage_plan.hpp"
+
+namespace bonsai::sorter
+{
+
+/** Statistics from a behavioral sort. */
+struct BehavioralStats
+{
+    unsigned stages = 0;
+    std::uint64_t recordsMoved = 0; ///< total across stages
+    std::vector<std::uint64_t> groupsPerStage;
+};
+
+template <typename RecordT>
+class BehavioralSorter
+{
+  public:
+    /**
+     * @param ell Merge fan-in per stage.
+     * @param presort_run Bitonic presorter run length (1 disables).
+     * @param threads Worker threads for the per-stage group loop
+     *        (groups are independent merges); 1 = serial.
+     */
+    explicit BehavioralSorter(unsigned ell,
+                              std::uint64_t presort_run = 16,
+                              unsigned threads = 1)
+        : ell_(ell), presortRun_(presort_run ? presort_run : 1),
+          threads_(threads == 0 ? 1 : threads)
+    {
+    }
+
+    /** Sort @p data in place; returns per-stage statistics. */
+    BehavioralStats
+    sort(std::vector<RecordT> &data) const
+    {
+        BehavioralStats stats;
+        if (data.size() <= 1)
+            return stats;
+
+        std::vector<RunSpan> runs = presort(data);
+        std::vector<RecordT> scratch(data.size());
+        std::vector<RecordT> *src = &data;
+        std::vector<RecordT> *dst = &scratch;
+        while (runs.size() > 1) {
+            StagePlan plan(std::move(runs), ell_);
+            runStage(plan, *src, *dst);
+            runs = plan.outputRuns();
+            stats.groupsPerStage.push_back(plan.groups());
+            stats.recordsMoved += plan.totalRecords();
+            ++stats.stages;
+            std::swap(src, dst);
+        }
+        if (src != &data)
+            data = std::move(*src);
+        return stats;
+    }
+
+  private:
+    /** Form initial sorted runs with the bitonic presorter network. */
+    std::vector<RunSpan>
+    presort(std::vector<RecordT> &data) const
+    {
+        std::vector<RunSpan> runs =
+            chunkRuns(data.size(), presortRun_);
+        if (presortRun_ == 1)
+            return runs;
+        for (const RunSpan &run : runs) {
+            std::span<RecordT> chunk(data.data() + run.offset,
+                                     run.length);
+            if (hw::isPow2(run.length)) {
+                hw::bitonicSortNetwork(chunk);
+            } else {
+                std::sort(chunk.begin(), chunk.end());
+            }
+        }
+        return runs;
+    }
+
+    void
+    runStage(const StagePlan &plan, const std::vector<RecordT> &src,
+             std::vector<RecordT> &dst) const
+    {
+        const std::vector<RunSpan> out = plan.outputRuns();
+        const auto merge_one = [&](std::uint64_t g) {
+            std::vector<std::span<const RecordT>> members;
+            for (const RunSpan &run : plan.groupRuns(g)) {
+                members.emplace_back(src.data() + run.offset,
+                                     run.length);
+            }
+            mergeGroup(std::move(members), dst.data() + out[g].offset);
+        };
+        if (threads_ <= 1 || plan.groups() < 2) {
+            for (std::uint64_t g = 0; g < plan.groups(); ++g)
+                merge_one(g);
+            return;
+        }
+        // Groups write disjoint output ranges: embarrassingly
+        // parallel work-stealing over the group index.
+        std::atomic<std::uint64_t> next{0};
+        std::vector<std::thread> workers;
+        const unsigned count = std::min<std::uint64_t>(
+            threads_, plan.groups());
+        workers.reserve(count);
+        for (unsigned t = 0; t < count; ++t) {
+            workers.emplace_back([&] {
+                for (;;) {
+                    const std::uint64_t g = next.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (g >= plan.groups())
+                        return;
+                    merge_one(g);
+                }
+            });
+        }
+        for (std::thread &worker : workers)
+            worker.join();
+    }
+
+    static void
+    mergeGroup(std::vector<std::span<const RecordT>> members,
+               RecordT *out)
+    {
+        if (members.empty())
+            return;
+        if (members.size() == 1) {
+            std::copy(members[0].begin(), members[0].end(), out);
+            return;
+        }
+        LoserTree<RecordT> tree(std::move(members));
+        while (!tree.done())
+            *out++ = tree.pop();
+    }
+
+    unsigned ell_;
+    std::uint64_t presortRun_;
+    unsigned threads_;
+};
+
+} // namespace bonsai::sorter
+
+#endif // BONSAI_SORTER_BEHAVIORAL_HPP

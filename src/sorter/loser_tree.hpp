@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tournament (loser) tree for ell-way run merging — the software
+ * counterpart of the hardware merge tree, used by the behavioral
+ * sorter for GB-scale correctness runs and live CPU measurements.
+ *
+ * Standard structure (Knuth TAOCP Vol. 3, 5.4.1): leaves are input
+ * cursors, internal nodes store the loser of their subtree's
+ * tournament, the overall winner is kept outside the tree.  Each pop
+ * replays only the winner's root path: O(log ell) comparisons.
+ */
+
+#ifndef BONSAI_SORTER_LOSER_TREE_HPP
+#define BONSAI_SORTER_LOSER_TREE_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bonsai::sorter
+{
+
+template <typename RecordT>
+class LoserTree
+{
+  public:
+    explicit LoserTree(std::vector<std::span<const RecordT>> inputs)
+        : inputs_(std::move(inputs))
+    {
+        ways_ = 1;
+        while (ways_ < inputs_.size())
+            ways_ *= 2;
+        pos_.assign(inputs_.size(), 0);
+        tree_.assign(ways_, kEmpty);
+        winner_ = buildTournament(1);
+    }
+
+    /** True when all inputs are exhausted. */
+    bool done() const { return winner_ == kEmpty; }
+
+    /** Pop the globally smallest record. */
+    RecordT
+    pop()
+    {
+        assert(!done());
+        const std::size_t src = winner_;
+        const RecordT out = inputs_[src][pos_[src]];
+        ++pos_[src];
+        std::size_t candidate =
+            pos_[src] < inputs_[src].size() ? src : kEmpty;
+        // Replay the winner's root path against the stored losers.
+        for (std::size_t node = (src + ways_) / 2; node >= 1;
+             node /= 2) {
+            if (beats(tree_[node], candidate))
+                std::swap(tree_[node], candidate);
+        }
+        winner_ = candidate;
+        return out;
+    }
+
+  private:
+    static constexpr std::size_t kEmpty =
+        static_cast<std::size_t>(-1);
+
+    const RecordT &
+    head(std::size_t i) const
+    {
+        return inputs_[i][pos_[i]];
+    }
+
+    /** Does cursor @p a beat cursor @p b (strictly smaller head)? */
+    bool
+    beats(std::size_t a, std::size_t b) const
+    {
+        if (a == kEmpty)
+            return false;
+        if (b == kEmpty)
+            return true;
+        return head(a) < head(b);
+    }
+
+    /** Cursor at leaf slot @p slot, or kEmpty. */
+    std::size_t
+    slotSource(std::size_t slot) const
+    {
+        if (slot < inputs_.size() && !inputs_[slot].empty())
+            return slot;
+        return kEmpty;
+    }
+
+    /** Bottom-up initial tournament; returns the subtree winner and
+     *  records losers on the way up. */
+    std::size_t
+    buildTournament(std::size_t node)
+    {
+        if (node >= ways_)
+            return slotSource(node - ways_);
+        const std::size_t left = buildTournament(2 * node);
+        const std::size_t right = buildTournament(2 * node + 1);
+        if (beats(left, right)) {
+            tree_[node] = right;
+            return left;
+        }
+        tree_[node] = left;
+        return right;
+    }
+
+    std::vector<std::span<const RecordT>> inputs_;
+    std::vector<std::size_t> pos_;
+    std::vector<std::size_t> tree_; ///< losers, heap-indexed
+    std::size_t ways_ = 1;
+    std::size_t winner_ = kEmpty;
+};
+
+} // namespace bonsai::sorter
+
+#endif // BONSAI_SORTER_LOSER_TREE_HPP

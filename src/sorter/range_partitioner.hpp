@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Sampling-based range partitioner for unrolled configurations
+ * (Section III-A2): "we first partition the data into lambda_unrl
+ * equal-sized disjoint subsets of non-overlapping ranges and then have
+ * each AMT work on one subset independently ... The comparison of
+ * non-overlapping and address-based partitioning is left for future
+ * work."  This implements that future-work comparison's missing half.
+ *
+ * The partitioner samples keys, picks lambda-1 splitters, and scatters
+ * records into per-range regions.  In hardware this pass is fused with
+ * the first merge stage ("can be pipelined with the first merge stage
+ * and thus has no impact on sorting time"), so the timing models charge
+ * it nothing; the *skew* it produces is what matters — the slowest
+ * tree's share bounds the stage time, which StageSimulator::Options::
+ * rangeSkew feeds into the stage-level timing.
+ */
+
+#ifndef BONSAI_SORTER_RANGE_PARTITIONER_HPP
+#define BONSAI_SORTER_RANGE_PARTITIONER_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace bonsai::sorter
+{
+
+/** Outcome of a range partitioning pass. */
+template <typename RecordT>
+struct RangePartition
+{
+    /** Records regrouped so range i occupies
+     *  [offsets[i], offsets[i+1]). */
+    std::vector<RecordT> data;
+    std::vector<std::uint64_t> offsets; ///< size ranges + 1
+    double skew = 1.0; ///< largest range / ideal range size
+
+    std::uint64_t
+    rangeSize(std::size_t i) const
+    {
+        return offsets[i + 1] - offsets[i];
+    }
+};
+
+template <typename RecordT>
+class RangePartitioner
+{
+  public:
+    /**
+     * @param ranges Number of non-overlapping key ranges (lambda).
+     * @param oversample Sample size per range for splitter selection.
+     */
+    explicit RangePartitioner(unsigned ranges, unsigned oversample = 128)
+        : ranges_(ranges), oversample_(oversample)
+    {
+    }
+
+    /** Partition @p input into key ranges (stable within a range). */
+    RangePartition<RecordT>
+    partition(const std::vector<RecordT> &input,
+              std::uint64_t seed = 0xB05A1ULL) const
+    {
+        RangePartition<RecordT> out;
+        if (ranges_ <= 1 || input.size() <= ranges_) {
+            out.data = input;
+            out.offsets = {0, input.size()};
+            out.skew = 1.0;
+            return out;
+        }
+
+        // Sample and sort candidate splitters.
+        SplitMix64 rng(seed);
+        const std::size_t samples =
+            std::min<std::size_t>(input.size(),
+                                  std::size_t{ranges_} * oversample_);
+        std::vector<RecordT> sample(samples);
+        for (std::size_t i = 0; i < samples; ++i)
+            sample[i] = input[rng.nextBounded(input.size())];
+        std::sort(sample.begin(), sample.end());
+        std::vector<RecordT> splitters;
+        for (unsigned r = 1; r < ranges_; ++r)
+            splitters.push_back(sample[r * samples / ranges_]);
+
+        // Classify, then scatter with a counting pass.
+        const auto range_of = [&](const RecordT &rec) {
+            return static_cast<std::size_t>(
+                std::upper_bound(splitters.begin(), splitters.end(),
+                                 rec) -
+                splitters.begin());
+        };
+        std::vector<std::uint64_t> counts(ranges_, 0);
+        for (const RecordT &rec : input)
+            ++counts[range_of(rec)];
+        out.offsets.assign(ranges_ + 1, 0);
+        for (unsigned r = 0; r < ranges_; ++r)
+            out.offsets[r + 1] = out.offsets[r] + counts[r];
+        out.data.resize(input.size());
+        std::vector<std::uint64_t> cursor(out.offsets.begin(),
+                                          out.offsets.end() - 1);
+        for (const RecordT &rec : input)
+            out.data[cursor[range_of(rec)]++] = rec;
+
+        const double ideal = static_cast<double>(input.size()) /
+            static_cast<double>(ranges_);
+        std::uint64_t largest = 0;
+        for (unsigned r = 0; r < ranges_; ++r)
+            largest = std::max(largest, counts[r]);
+        out.skew = static_cast<double>(largest) / ideal;
+        return out;
+    }
+
+  private:
+    unsigned ranges_;
+    unsigned oversample_;
+};
+
+} // namespace bonsai::sorter
+
+#endif // BONSAI_SORTER_RANGE_PARTITIONER_HPP

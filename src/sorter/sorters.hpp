@@ -1,0 +1,249 @@
+/**
+ * @file
+ * User-facing sorter facades — the library's top-level API.
+ *
+ * Each facade couples the Bonsai optimizer (configuration selection)
+ * with (a) a behavioral execution that actually sorts the caller's
+ * data following the selected AMT's stage plan, and (b) the modeled
+ * FPGA wall-clock time from the stage-level simulator, so callers get
+ * both a sorted buffer and the paper-comparable performance numbers.
+ *
+ *  - DramSorter: single-node DRAM-scale sorting (Section IV-A);
+ *  - HbmSorter: unrolled configuration on HBM banks (Section IV-B);
+ *  - SsdSorter: two-phase terabyte-scale sorting (Section IV-C).
+ *
+ * Note: like the hardware (whose compare-and-exchange units compare
+ * keys only), these sorters are NOT stable — records with equal keys
+ * may emerge in any relative order.
+ */
+
+#ifndef BONSAI_SORTER_SORTERS_HPP
+#define BONSAI_SORTER_SORTERS_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "core/platforms.hpp"
+#include "core/ssd_planner.hpp"
+#include "sorter/behavioral.hpp"
+#include "sorter/loser_tree.hpp"
+#include "sorter/stage_sim.hpp"
+
+namespace bonsai::sorter
+{
+
+/** Outcome of a facade sort. */
+struct SortReport
+{
+    amt::AmtConfig config;       ///< Bonsai-selected configuration
+    double modeledSeconds = 0.0; ///< stage-level simulated FPGA time
+    double predictedSeconds = 0.0; ///< closed-form Equation 1/2 time
+    double hostSeconds = 0.0;    ///< behavioral execution wall time
+    /** Host <-> DRAM transfer time over the I/O bus (Figure 2 steps
+     *  1 and 4: load over PCIe, sorted result back).  Not part of
+     *  the paper's sorting-time metric, reported separately. */
+    double ioSeconds = 0.0;
+    unsigned stages = 0;
+
+    double
+    modeledMsPerGb(std::uint64_t bytes) const
+    {
+        return toMs(modeledSeconds) / toGb(bytes);
+    }
+
+    /** End-to-end time including the host transfers. */
+    double
+    endToEndSeconds() const
+    {
+        return modeledSeconds + ioSeconds;
+    }
+};
+
+/** DRAM-scale latency-optimized sorter (the paper's AWS F1 design). */
+class DramSorter
+{
+  public:
+    explicit DramSorter(model::HardwareParams hw = core::awsF1(),
+                        model::MergerArchParams arch = {},
+                        core::SearchSpace space = {})
+        : hw_(hw), arch_(arch), space_(space)
+    {
+    }
+
+    /** Sort @p data in place; RecordT is any record type from
+     *  common/record.hpp.  @p record_bytes is the modeled width r. */
+    template <typename RecordT>
+    SortReport
+    sort(std::vector<RecordT> &data, std::uint64_t record_bytes) const
+    {
+        model::BonsaiInputs in;
+        in.array = {data.size(), record_bytes};
+        in.hw = hw_;
+        in.arch = arch_;
+        if (!space_.withPresorter)
+            in.arch.presortRunLength = 1;
+        core::Optimizer opt(in, space_);
+        const auto best = opt.best(core::Objective::Latency);
+        if (!best)
+            throw std::runtime_error(
+                "Bonsai: no feasible AMT configuration");
+        return executePlan(data, in, *best);
+    }
+
+    const model::HardwareParams &hardware() const { return hw_; }
+
+  protected:
+    template <typename RecordT>
+    SortReport
+    executePlan(std::vector<RecordT> &data,
+                const model::BonsaiInputs &in,
+                const core::RankedConfig &choice) const
+    {
+        SortReport report;
+        report.config = choice.config;
+        report.predictedSeconds = choice.perf.latencySeconds;
+
+        StageSimulator::Options sim;
+        sim.config = choice.config;
+        sim.array = in.array;
+        sim.frequencyHz = in.arch.frequencyHz;
+        sim.betaDram = in.hw.betaDram;
+        sim.presortRun = in.arch.presortRunLength;
+        const StageSimResult timing = StageSimulator(sim).run();
+        report.modeledSeconds = timing.totalSeconds;
+        report.stages = timing.stages;
+        // Figure 2 steps 1 and 4: one inbound and one outbound pass
+        // over the I/O bus (full duplex, so they do not overlap with
+        // each other only because step 4 needs the sorted result).
+        report.ioSeconds = 2.0 *
+            static_cast<double>(in.array.totalBytes()) /
+            in.hw.betaIo;
+
+        const auto start = std::chrono::steady_clock::now();
+        BehavioralSorter<RecordT> engine(choice.config.ell,
+                                         in.arch.presortRunLength);
+        engine.sort(data);
+        report.hostSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        return report;
+    }
+
+    model::HardwareParams hw_;
+    model::MergerArchParams arch_;
+    core::SearchSpace space_;
+};
+
+/** HBM sorter: unrolled trees over many banks (Section IV-B).  The
+ *  optimizer searches without per-tree presorters — at 16-way
+ *  unrolling they would exceed C_LUT (see EXPERIMENTS.md). */
+class HbmSorter : public DramSorter
+{
+  public:
+    explicit HbmSorter(model::HardwareParams hw = core::hbmU50(),
+                       model::MergerArchParams arch = {})
+        : DramSorter(hw, arch, noPresorterSpace())
+    {
+    }
+
+  private:
+    static core::SearchSpace
+    noPresorterSpace()
+    {
+        core::SearchSpace space;
+        space.withPresorter = false;
+        return space;
+    }
+};
+
+/** Two-phase SSD sorter for arrays beyond DRAM capacity. */
+class SsdSorter
+{
+  public:
+    explicit SsdSorter(model::HardwareParams hw = core::awsF1(),
+                       core::SsdParams ssd = {},
+                       model::MergerArchParams arch = {})
+        : hw_(hw), ssd_(ssd), arch_(arch)
+    {
+    }
+
+    /** Report of a two-phase sort (Table V shape). */
+    struct SsdReport
+    {
+        core::SsdPlan plan;
+        double hostSeconds = 0.0;
+    };
+
+    template <typename RecordT>
+    SsdReport
+    sort(std::vector<RecordT> &data, std::uint64_t record_bytes) const
+    {
+        model::ArrayParams array{data.size(), record_bytes};
+        const auto plan =
+            core::planSsdSort(array, hw_, arch_, ssd_);
+        if (!plan)
+            throw std::runtime_error(
+                "Bonsai: no feasible SSD two-phase plan");
+        SsdReport report;
+        report.plan = *plan;
+
+        const auto start = std::chrono::steady_clock::now();
+        // Phase 1: sort DRAM-scale chunks independently.
+        const std::uint64_t chunk = plan->chunkRecords == 0
+            ? data.size() : plan->chunkRecords;
+        BehavioralSorter<RecordT> phase1(plan->phase1.config.ell,
+                                         arch_.presortRunLength);
+        std::vector<RunSpan> runs;
+        for (std::uint64_t lo = 0; lo < data.size(); lo += chunk) {
+            const std::uint64_t len =
+                std::min<std::uint64_t>(chunk, data.size() - lo);
+            std::vector<RecordT> piece(data.begin() + lo,
+                                       data.begin() + lo + len);
+            phase1.sort(piece);
+            std::copy(piece.begin(), piece.end(), data.begin() + lo);
+            runs.push_back(RunSpan{lo, len});
+        }
+        // Phase 2: ell-way merge of the sorted chunks (each stage is
+        // one SSD round trip).
+        std::vector<RecordT> scratch(data.size());
+        std::vector<RecordT> *src = &data;
+        std::vector<RecordT> *dst = &scratch;
+        while (runs.size() > 1) {
+            StagePlan stage(runs, plan->phase2.config.ell);
+            const std::vector<RunSpan> out = stage.outputRuns();
+            for (std::uint64_t g = 0; g < stage.groups(); ++g) {
+                std::vector<std::span<const RecordT>> members;
+                for (const RunSpan &run : stage.groupRuns(g)) {
+                    members.emplace_back(src->data() + run.offset,
+                                         run.length);
+                }
+                LoserTree<RecordT> tree(std::move(members));
+                RecordT *cursor = dst->data() + out[g].offset;
+                while (!tree.done())
+                    *cursor++ = tree.pop();
+            }
+            runs = out;
+            std::swap(src, dst);
+        }
+        if (src != &data)
+            data = std::move(*src);
+        report.hostSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        return report;
+    }
+
+  private:
+    model::HardwareParams hw_;
+    core::SsdParams ssd_;
+    model::MergerArchParams arch_;
+};
+
+} // namespace bonsai::sorter
+
+#endif // BONSAI_SORTER_SORTERS_HPP

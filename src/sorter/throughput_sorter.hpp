@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Throughput-mode sorter facade (paper Section III-C: "In case many
+ * N-element arrays need to be sorted, optimizing for throughput gives
+ * better total time than optimizing for the latency of sorting a
+ * single N-element array").
+ *
+ * Picks the throughput-optimal pipelined/unrolled configuration
+ * (Equation 7 objective under the Equation 5 capacity constraint),
+ * sorts every array of the batch, and reports the modeled sustained
+ * throughput and batch makespan.
+ */
+
+#ifndef BONSAI_SORTER_THROUGHPUT_SORTER_HPP
+#define BONSAI_SORTER_THROUGHPUT_SORTER_HPP
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "core/platforms.hpp"
+#include "sorter/behavioral.hpp"
+
+namespace bonsai::sorter
+{
+
+/** Result of a batch sort in throughput mode. */
+struct ThroughputReport
+{
+    amt::AmtConfig config;
+    double throughputBytesPerSec = 0.0; ///< Equation 7
+    double perArrayLatencySeconds = 0.0; ///< Equation 4
+    double batchSeconds = 0.0; ///< modeled makespan of the whole batch
+    std::size_t arrays = 0;
+};
+
+class ThroughputSorter
+{
+  public:
+    explicit ThroughputSorter(model::HardwareParams hw = core::awsF1(),
+                              model::MergerArchParams arch = {})
+        : hw_(hw), arch_(arch)
+    {
+    }
+
+    /**
+     * Sort every array in @p batch (all must share the record width
+     * @p record_bytes); arrays may have different lengths — the
+     * configuration is chosen for the largest one.
+     */
+    template <typename RecordT>
+    ThroughputReport
+    sortBatch(std::vector<std::vector<RecordT>> &batch,
+              std::uint64_t record_bytes) const
+    {
+        ThroughputReport report;
+        report.arrays = batch.size();
+        if (batch.empty())
+            return report;
+
+        std::uint64_t largest = 1;
+        std::uint64_t total_bytes = 0;
+        for (const auto &array : batch) {
+            largest = std::max<std::uint64_t>(largest, array.size());
+            total_bytes += array.size() * record_bytes;
+        }
+
+        model::BonsaiInputs in;
+        in.array = {largest, record_bytes};
+        in.hw = hw_;
+        in.arch = arch_;
+        core::Optimizer opt(in);
+        const auto best = opt.best(core::Objective::Throughput);
+        if (!best)
+            throw std::runtime_error(
+                "Bonsai: no feasible pipelined configuration");
+        report.config = best->config;
+        report.throughputBytesPerSec =
+            best->perf.throughputBytesPerSec;
+        report.perArrayLatencySeconds = best->perf.latencySeconds;
+        // Steady state: arrays stream through the pipeline back to
+        // back; the first fill costs one per-array latency.
+        report.batchSeconds = static_cast<double>(total_bytes) /
+                best->perf.throughputBytesPerSec +
+            best->perf.latencySeconds *
+                (1.0 - 1.0 / best->config.lambdaPipe);
+
+        BehavioralSorter<RecordT> engine(best->config.ell,
+                                         in.arch.presortRunLength);
+        for (auto &array : batch)
+            engine.sort(array);
+        return report;
+    }
+
+  private:
+    model::HardwareParams hw_;
+    model::MergerArchParams arch_;
+};
+
+} // namespace bonsai::sorter
+
+#endif // BONSAI_SORTER_THROUGHPUT_SORTER_HPP

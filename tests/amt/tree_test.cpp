@@ -1,0 +1,73 @@
+/** @file Unit tests for the AMT structural tree shape. */
+
+#include <gtest/gtest.h>
+
+#include "amt/tree.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(TreeShape, PaperFigure1Example)
+{
+    // AMT(4, 16): 4-merger root, two 2-mergers, four 1-mergers, eight
+    // 1-mergers (Figure 1).
+    const amt::TreeShape shape = amt::makeTreeShape(4, 16);
+    ASSERT_EQ(shape.levels.size(), 4u);
+    EXPECT_EQ(shape.levels[0].mergerK, 4u);
+    EXPECT_EQ(shape.levels[0].nodeCount, 1u);
+    EXPECT_EQ(shape.levels[1].mergerK, 2u);
+    EXPECT_EQ(shape.levels[1].nodeCount, 2u);
+    EXPECT_EQ(shape.levels[2].mergerK, 1u);
+    EXPECT_EQ(shape.levels[2].nodeCount, 4u);
+    EXPECT_EQ(shape.levels[3].mergerK, 1u);
+    EXPECT_EQ(shape.levels[3].nodeCount, 8u);
+}
+
+TEST(TreeShape, MergerCountIsEllMinusOne)
+{
+    for (unsigned p : {1u, 4u, 32u}) {
+        for (unsigned ell : {2u, 8u, 64u, 256u}) {
+            const amt::TreeShape shape = amt::makeTreeShape(p, ell);
+            EXPECT_EQ(shape.mergerCount(), ell - 1)
+                << "p=" << p << " ell=" << ell;
+        }
+    }
+}
+
+TEST(TreeShape, RootMergerIsP)
+{
+    for (unsigned p : {1u, 2u, 8u, 32u}) {
+        const amt::TreeShape shape = amt::makeTreeShape(p, 8);
+        EXPECT_EQ(shape.levels[0].mergerK, p);
+    }
+}
+
+TEST(TreeShape, DeepLevelsFloorAtOneMerger)
+{
+    const amt::TreeShape shape = amt::makeTreeShape(2, 64);
+    for (const amt::TreeLevel &lvl : shape.levels)
+        EXPECT_GE(lvl.mergerK, 1u);
+    EXPECT_EQ(shape.levels.back().mergerK, 1u);
+}
+
+TEST(TreeShape, HighThroughputEverywhereWhenPLarge)
+{
+    // AMT(32, 4): root 32, children 16.
+    const amt::TreeShape shape = amt::makeTreeShape(32, 4);
+    ASSERT_EQ(shape.levels.size(), 2u);
+    EXPECT_EQ(shape.levels[0].mergerK, 32u);
+    EXPECT_EQ(shape.levels[1].mergerK, 16u);
+}
+
+TEST(TreeShape, MinimalTree)
+{
+    const amt::TreeShape shape = amt::makeTreeShape(1, 2);
+    ASSERT_EQ(shape.levels.size(), 1u);
+    EXPECT_EQ(shape.levels[0].mergerK, 1u);
+    EXPECT_EQ(shape.mergerCount(), 1u);
+}
+
+} // namespace
+} // namespace bonsai

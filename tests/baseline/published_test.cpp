@@ -1,0 +1,79 @@
+/** @file Unit tests for the published-results tables. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/published.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(Published, Table1LookupExactColumns)
+{
+    EXPECT_EQ(baseline::publishedMsPerGb("PARADIS [20]", 4 * kGB),
+              436.0);
+    EXPECT_EQ(baseline::publishedMsPerGb("HRS [18]", 32 * kGB), 224.0);
+    EXPECT_EQ(baseline::publishedMsPerGb("SampleSort [19]", 16 * kGB),
+              220.0);
+    EXPECT_EQ(
+        baseline::publishedMsPerGb("TerabyteSort [29]", 2 * kTB),
+        4347.0);
+}
+
+TEST(Published, DashesReturnNullopt)
+{
+    EXPECT_FALSE(
+        baseline::publishedMsPerGb("PARADIS [20]", 2 * kTB)
+            .has_value());
+    EXPECT_FALSE(
+        baseline::publishedMsPerGb("SampleSort [19]", 100 * kTB)
+            .has_value());
+    EXPECT_FALSE(
+        baseline::publishedMsPerGb("HRS [18]", 2 * kTB).has_value());
+}
+
+TEST(Published, UnknownSystemReturnsNullopt)
+{
+    EXPECT_FALSE(
+        baseline::publishedMsPerGb("NoSuchSorter", 4 * kGB)
+            .has_value());
+}
+
+TEST(Published, NearestColumnLookup)
+{
+    // 6 GB is nearest (in log space) to 8 GB... log2(6/4)=0.58,
+    // log2(8/6)=0.415 -> 8 GB column.
+    EXPECT_EQ(baseline::publishedMsPerGb("PARADIS [20]", 6 * kGB),
+              436.0);
+    EXPECT_EQ(baseline::publishedMsPerGb("HRS [18]", 48 * kGB),
+              260.0); // nearest 64 GB
+}
+
+TEST(Published, BonsaiRowBeatsAllComparatorsInTable1)
+{
+    // The headline claim: Bonsai's row is the minimum of every
+    // column where any system reports a result.
+    for (std::size_t col = 0; col < baseline::kTable1Sizes.size();
+         ++col) {
+        for (const auto &row : baseline::kTable1Rows) {
+            if (row.msPerGb[col] == baseline::kNoResult)
+                continue;
+            EXPECT_LT(baseline::kTable1Bonsai[col], row.msPerGb[col])
+                << row.name << " col " << col;
+        }
+    }
+}
+
+TEST(Published, Figure12BonsaiHasBestEfficiency)
+{
+    // Bonsai 8 (single 8 GB/s bank, 5-stage ell = 64 sorter):
+    // efficiency (1/5) = 0.2; every comparator must be well below.
+    for (const auto &entry : baseline::figure12Comparators()) {
+        EXPECT_LT(entry.efficiency(), 0.1) << entry.name;
+        EXPECT_GT(entry.efficiency(), 0.0) << entry.name;
+    }
+}
+
+} // namespace
+} // namespace bonsai

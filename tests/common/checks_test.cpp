@@ -1,0 +1,82 @@
+/** @file Unit tests for the output-validation helpers. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/checks.hpp"
+#include "common/random.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(IsSorted, DetectsSortedAndUnsorted)
+{
+    std::vector<Record> recs = {{1, 0}, {2, 0}, {2, 1}, {5, 0}};
+    EXPECT_TRUE(isSorted(std::span<const Record>(recs)));
+    recs.push_back({4, 0});
+    EXPECT_FALSE(isSorted(std::span<const Record>(recs)));
+}
+
+TEST(IsSorted, EmptyAndSingleton)
+{
+    std::vector<Record> empty;
+    EXPECT_TRUE(isSorted(std::span<const Record>(empty)));
+    std::vector<Record> one = {{9, 0}};
+    EXPECT_TRUE(isSorted(std::span<const Record>(one)));
+}
+
+TEST(Fingerprint, InvariantUnderPermutation)
+{
+    auto recs = makeRecords(4096, Distribution::UniformRandom);
+    const Fingerprint before =
+        fingerprint(std::span<const Record>(recs));
+    std::sort(recs.begin(), recs.end());
+    const Fingerprint after =
+        fingerprint(std::span<const Record>(recs));
+    EXPECT_EQ(before, after);
+}
+
+TEST(Fingerprint, DetectsSubstitution)
+{
+    auto recs = makeRecords(128, Distribution::UniformRandom);
+    const Fingerprint before =
+        fingerprint(std::span<const Record>(recs));
+    recs[64].key ^= 1;
+    EXPECT_NE(before, fingerprint(std::span<const Record>(recs)));
+}
+
+TEST(Fingerprint, DetectsDuplicationOfOneRecord)
+{
+    auto recs = makeRecords(128, Distribution::UniformRandom);
+    const Fingerprint before =
+        fingerprint(std::span<const Record>(recs));
+    recs[10] = recs[11];
+    EXPECT_NE(before, fingerprint(std::span<const Record>(recs)));
+}
+
+TEST(Fingerprint, DetectsCountChange)
+{
+    auto recs = makeRecords(128, Distribution::UniformRandom);
+    const Fingerprint before =
+        fingerprint(std::span<const Record>(recs));
+    recs.pop_back();
+    const Fingerprint after =
+        fingerprint(std::span<const Record>(recs));
+    EXPECT_NE(before, after);
+    EXPECT_EQ(after.count + 1, before.count);
+}
+
+TEST(Fingerprint, WorksForRecord128)
+{
+    auto recs = makeRecords128(512, 3);
+    const Fingerprint before =
+        fingerprint(std::span<const Record128>(recs));
+    std::sort(recs.begin(), recs.end());
+    EXPECT_EQ(before, fingerprint(std::span<const Record128>(recs)));
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,125 @@
+/** @file Unit tests for the gensort-compatible generator. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/gensort.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(Gensort, RecordSizeMatchesSortBenchmark)
+{
+    EXPECT_EQ(GensortRecord::kBytes, 100u);
+    EXPECT_EQ(GensortRecord::kKeyBytes, 10u);
+    EXPECT_EQ(GensortRecord::kValueBytes, 90u);
+}
+
+TEST(Gensort, DeterministicAndSkipAheadConsistent)
+{
+    GensortGenerator gen(1234);
+    const auto all = gen.generate(0, 100);
+    const auto tail = gen.generate(50, 50);
+    ASSERT_EQ(tail.size(), 50u);
+    for (std::size_t i = 0; i < 50; ++i)
+        EXPECT_EQ(all[50 + i].bytes, tail[i].bytes);
+}
+
+TEST(Gensort, PackPreservesKeyOrdering)
+{
+    GensortGenerator gen(99);
+    auto recs = gen.generate(0, 2000);
+    auto packed = packGensort(recs);
+    std::sort(recs.begin(), recs.end());
+    std::sort(packed.begin(), packed.end());
+    const auto repacked = packGensort(recs);
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+        EXPECT_EQ(packed[i].keyHi, repacked[i].keyHi);
+        EXPECT_EQ(packed[i].keyLo, repacked[i].keyLo);
+    }
+}
+
+TEST(Gensort, PackedRecordsAreNeverTerminal)
+{
+    GensortGenerator gen(5);
+    for (const auto &rec : gen.generate(0, 500))
+        EXPECT_FALSE(packGensort(rec).isTerminal());
+}
+
+TEST(Gensort, Hash48Is48Bits)
+{
+    GensortGenerator gen(8);
+    for (const auto &rec : gen.generate(0, 100)) {
+        const std::uint64_t h = hash48(
+            rec.bytes.data() + GensortRecord::kKeyBytes,
+            GensortRecord::kValueBytes);
+        EXPECT_EQ(h >> 48, 0u);
+    }
+}
+
+TEST(Gensort, Hash48SensitiveToEveryBytePosition)
+{
+    std::array<std::uint8_t, 16> base{};
+    const std::uint64_t h0 = hash48(base.data(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        auto copy = base;
+        copy[i] ^= 0x5A;
+        EXPECT_NE(hash48(copy.data(), copy.size()), h0)
+            << "byte " << i;
+    }
+}
+
+TEST(Gensort, ValsortSummaryDetectsUnsortedInput)
+{
+    GensortGenerator gen(3);
+    auto recs = gen.generate(0, 1000);
+    const ValsortSummary before = valsortSummary(recs);
+    EXPECT_EQ(before.records, 1000u);
+    EXPECT_FALSE(before.sorted); // random input
+    std::sort(recs.begin(), recs.end());
+    const ValsortSummary after = valsortSummary(recs);
+    EXPECT_TRUE(after.sorted);
+    EXPECT_EQ(after.unorderedAt, 0u);
+    // Checksum is order-independent: sorted output must match input.
+    EXPECT_EQ(after.checksum, before.checksum);
+    EXPECT_EQ(after.records, before.records);
+}
+
+TEST(Gensort, ValsortSummaryChecksumDetectsCorruption)
+{
+    GensortGenerator gen(4);
+    auto recs = gen.generate(0, 200);
+    const ValsortSummary before = valsortSummary(recs);
+    recs[100].bytes[50] ^= 0xFF;
+    EXPECT_NE(valsortSummary(recs).checksum, before.checksum);
+}
+
+TEST(Gensort, ValsortSummaryCountsDuplicates)
+{
+    GensortGenerator gen(5);
+    auto recs = gen.generate(0, 100);
+    recs[10] = recs[11] = recs[12]; // three equal keys
+    std::sort(recs.begin(), recs.end());
+    const ValsortSummary summary = valsortSummary(recs);
+    EXPECT_GE(summary.duplicateKeys, 2u);
+}
+
+TEST(Gensort, KeysLookUniform)
+{
+    GensortGenerator gen(77);
+    const auto recs = gen.generate(0, 4000);
+    // First key byte should span most of the byte range.
+    std::array<int, 256> seen{};
+    for (const auto &rec : recs)
+        ++seen[rec.bytes[0]];
+    int nonzero = 0;
+    for (int c : seen)
+        nonzero += (c > 0);
+    EXPECT_GT(nonzero, 200);
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,107 @@
+/** @file Unit tests for the deterministic generators. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(SplitMix64, DeterministicForSeed)
+{
+    SplitMix64 a(7);
+    SplitMix64 b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownFirstValue)
+{
+    // Reference value of SplitMix64 with seed 0 (Vigna's test vector).
+    SplitMix64 rng(0);
+    EXPECT_EQ(rng.next(), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(SplitMix64, NextDoubleInUnitInterval)
+{
+    SplitMix64 rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(MakeRecords, NeverProducesTerminal)
+{
+    for (Distribution dist :
+         {Distribution::UniformRandom, Distribution::Sorted,
+          Distribution::Reverse, Distribution::AllEqual,
+          Distribution::FewDistinct, Distribution::NearlySorted}) {
+        const auto recs = makeRecords(512, dist);
+        for (const Record &r : recs)
+            EXPECT_FALSE(r.isTerminal());
+    }
+}
+
+TEST(MakeRecords, SortedIsSorted)
+{
+    const auto recs = makeRecords(1000, Distribution::Sorted);
+    EXPECT_TRUE(std::is_sorted(recs.begin(), recs.end()));
+}
+
+TEST(MakeRecords, ReverseIsReverseSorted)
+{
+    auto recs = makeRecords(1000, Distribution::Reverse);
+    EXPECT_TRUE(std::is_sorted(recs.rbegin(), recs.rend()));
+}
+
+TEST(MakeRecords, AllEqualHasOneKey)
+{
+    const auto recs = makeRecords(100, Distribution::AllEqual);
+    for (const Record &r : recs)
+        EXPECT_EQ(r.key, recs[0].key);
+}
+
+TEST(MakeRecords, FewDistinctHasAtMost16Keys)
+{
+    const auto recs = makeRecords(4096, Distribution::FewDistinct);
+    std::set<std::uint64_t> keys;
+    for (const Record &r : recs)
+        keys.insert(r.key);
+    EXPECT_LE(keys.size(), 16u);
+    EXPECT_GT(keys.size(), 1u);
+}
+
+TEST(MakeRecords, ValuesCarryOriginalIndex)
+{
+    const auto recs = makeRecords(64, Distribution::UniformRandom);
+    for (std::size_t i = 0; i < recs.size(); ++i)
+        EXPECT_EQ(recs[i].value, i);
+}
+
+TEST(MakeRecords128, NonTerminalAndDeterministic)
+{
+    const auto a = makeRecords128(128, 9);
+    const auto b = makeRecords128(128, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]);
+        EXPECT_FALSE(a[i].isTerminal());
+    }
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,67 @@
+/** @file Unit tests for the record types. */
+
+#include <gtest/gtest.h>
+
+#include "common/record.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(Record, TerminalIsAllZero)
+{
+    EXPECT_TRUE(Record::terminal().isTerminal());
+    EXPECT_EQ(Record::terminal().key, 0u);
+    EXPECT_EQ(Record::terminal().value, 0u);
+}
+
+TEST(Record, NonZeroIsNotTerminal)
+{
+    EXPECT_FALSE((Record{1, 0}).isTerminal());
+    EXPECT_FALSE((Record{0, 1}).isTerminal());
+    EXPECT_FALSE((Record{5, 7}).isTerminal());
+}
+
+TEST(Record, OrderingComparesKeyOnly)
+{
+    const Record a{1, 99};
+    const Record b{2, 0};
+    const Record c{2, 123};
+    EXPECT_TRUE(a < b);
+    EXPECT_FALSE(b < a);
+    EXPECT_FALSE(b < c);
+    EXPECT_FALSE(c < b);
+    EXPECT_TRUE(b <= c);
+    EXPECT_TRUE(c <= b);
+}
+
+TEST(Record, EqualityComparesBothFields)
+{
+    EXPECT_EQ((Record{1, 2}), (Record{1, 2}));
+    EXPECT_NE((Record{1, 2}), (Record{1, 3}));
+    EXPECT_NE((Record{1, 2}), (Record{2, 2}));
+}
+
+TEST(Record128, LexicographicKeyOrdering)
+{
+    const Record128 a{1, 100, 0};
+    const Record128 b{2, 0, 0};
+    const Record128 c{2, 1, 0};
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b < c);
+    EXPECT_TRUE(a < c);
+    EXPECT_FALSE(c < a);
+    EXPECT_TRUE(a <= a);
+}
+
+TEST(Record128, TerminalDetection)
+{
+    EXPECT_TRUE(Record128::terminal().isTerminal());
+    EXPECT_FALSE((Record128{0, 0, 1}).isTerminal());
+    EXPECT_FALSE((Record128{0, 1, 0}).isTerminal());
+    EXPECT_FALSE((Record128{1, 0, 0}).isTerminal());
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,56 @@
+/** @file Unit tests for run-span helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/run.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(ChunkRuns, ExactDivision)
+{
+    const auto runs = chunkRuns(64, 16);
+    ASSERT_EQ(runs.size(), 4u);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        EXPECT_EQ(runs[i].offset, 16 * i);
+        EXPECT_EQ(runs[i].length, 16u);
+    }
+}
+
+TEST(ChunkRuns, RaggedTail)
+{
+    const auto runs = chunkRuns(70, 16);
+    ASSERT_EQ(runs.size(), 5u);
+    EXPECT_EQ(runs.back().offset, 64u);
+    EXPECT_EQ(runs.back().length, 6u);
+}
+
+TEST(ChunkRuns, SingleRecordRuns)
+{
+    const auto runs = chunkRuns(5, 1);
+    ASSERT_EQ(runs.size(), 5u);
+    EXPECT_EQ(runs[3].offset, 3u);
+    EXPECT_EQ(runs[3].length, 1u);
+}
+
+TEST(ChunkRuns, EmptyInputYieldsOneEmptyRun)
+{
+    const auto runs = chunkRuns(0, 16);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].length, 0u);
+}
+
+TEST(ChunkRuns, TotalLengthPreserved)
+{
+    for (std::uint64_t total : {1u, 15u, 16u, 17u, 255u, 1000u}) {
+        std::uint64_t sum = 0;
+        for (const RunSpan &run : chunkRuns(total, 16))
+            sum += run.length;
+        EXPECT_EQ(sum, total);
+    }
+}
+
+} // namespace
+} // namespace bonsai

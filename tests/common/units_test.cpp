@@ -1,0 +1,44 @@
+/** @file Unit tests for byte/time unit helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(Units, DecimalConstants)
+{
+    EXPECT_EQ(kKB, 1000u);
+    EXPECT_EQ(kMB, 1000'000u);
+    EXPECT_EQ(kGB, 1000'000'000u);
+    EXPECT_EQ(kTB, 1000'000'000'000u);
+}
+
+TEST(Units, BinaryConstants)
+{
+    EXPECT_EQ(kKiB, 1024u);
+    EXPECT_EQ(kMiB, 1024u * 1024);
+    EXPECT_EQ(kGiB, 1024ull * 1024 * 1024);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_EQ(gb(4), 4u * kGB);
+    EXPECT_EQ(gb(0.5), kGB / 2);
+    EXPECT_EQ(tb(2), 2u * kTB);
+    EXPECT_DOUBLE_EQ(toGb(16 * kGB), 16.0);
+    EXPECT_DOUBLE_EQ(toMs(1.5), 1500.0);
+}
+
+TEST(Units, PaperThroughputIdentity)
+{
+    // The convention that makes the paper's numbers exact: a p = 32
+    // tree at 250 MHz on 4-byte records is exactly 32 (decimal) GB/s.
+    EXPECT_DOUBLE_EQ(32.0 * 250e6 * 4.0, 32.0 * kGB);
+}
+
+} // namespace
+} // namespace bonsai

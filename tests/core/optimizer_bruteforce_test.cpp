@@ -1,0 +1,110 @@
+/** @file Brute-force reference check of the optimizer: an independent
+ *  exhaustive enumeration (written against the equations, not the
+ *  optimizer's code paths) must find the same optimum. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.hpp"
+#include "core/platforms.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+/** Independent latency evaluation straight from Section III-A. */
+double
+referenceLatency(const model::BonsaiInputs &in, unsigned p,
+                 unsigned ell, unsigned unrl)
+{
+    const double n_per_tree = std::ceil(
+        static_cast<double>(in.array.n) / unrl);
+    // ceil(log_ell(runs)) via repeated multiplication.
+    const double runs = std::ceil(
+        n_per_tree /
+        static_cast<double>(in.arch.presortRunLength));
+    unsigned stages = 0;
+    double reach = 1.0;
+    while (reach < runs) {
+        reach *= ell;
+        ++stages;
+    }
+    const double r = static_cast<double>(in.array.recordBytes);
+    const double rate = std::min(p * in.arch.frequencyHz * r,
+                                 in.hw.betaDram / unrl);
+    return n_per_tree * r * stages / rate;
+}
+
+TEST(OptimizerBruteForce, LatencyOptimumMatchesReference)
+{
+    for (std::uint64_t bytes : {1 * kGB, 16 * kGB, 64 * kGB}) {
+        for (double bw : {8.0, 32.0, 128.0}) {
+            model::BonsaiInputs in;
+            in.array = {bytes / 4, 4};
+            in.hw = core::awsF1();
+            in.hw.betaDram = bw * kGB;
+            core::Optimizer opt(in);
+            const auto best = opt.best(core::Objective::Latency);
+            ASSERT_TRUE(best.has_value());
+
+            // Reference: enumerate everything, keep the minimum over
+            // configurations that the resource model admits.
+            double ref_best = 1e300;
+            for (unsigned p = 1; p <= 32; p *= 2) {
+                for (unsigned ell = 2; ell <= 1024; ell *= 2) {
+                    for (unsigned u = 1; u <= 64; u *= 2) {
+                        amt::AmtConfig cfg{p, ell, u, 1};
+                        if (!model::fits(in, cfg))
+                            continue;
+                        const double lat =
+                            referenceLatency(in, p, ell, u);
+                        if (lat <= 0.0) // degenerate zero-stage
+                            continue;
+                        ref_best = std::min(ref_best, lat);
+                    }
+                }
+            }
+            EXPECT_NEAR(best->perf.latencySeconds, ref_best,
+                        1e-9 * ref_best)
+                << bytes << " bytes at " << bw << " GB/s";
+        }
+    }
+}
+
+TEST(OptimizerBruteForce, ThroughputOptimumMatchesReference)
+{
+    model::BonsaiInputs in;
+    in.array = {8ULL * kGB / 4, 4};
+    in.hw = core::awsF1();
+    in.arch.presortRunLength = 256;
+    core::Optimizer opt(in);
+    const auto best = opt.best(core::Objective::Throughput);
+    ASSERT_TRUE(best.has_value());
+
+    double ref_best = 0.0;
+    for (unsigned p = 1; p <= 32; p *= 2) {
+        for (unsigned ell = 2; ell <= 1024; ell *= 2) {
+            for (unsigned u = 1; u <= 64; u *= 2) {
+                for (unsigned pipe = 1; pipe <= 8; pipe *= 2) {
+                    amt::AmtConfig cfg{p, ell, u, pipe};
+                    if (!model::fits(in, cfg))
+                        continue;
+                    if (model::pipelineCapacityRecords(in, cfg) <
+                        in.array.n)
+                        continue;
+                    const double r = 4.0;
+                    const double per_pipe = std::min(
+                        {p * in.arch.frequencyHz * r,
+                         in.hw.betaDram / (pipe * u), in.hw.betaIo});
+                    ref_best = std::max(ref_best, u * per_pipe);
+                }
+            }
+        }
+    }
+    EXPECT_DOUBLE_EQ(best->perf.throughputBytesPerSec, ref_best);
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,146 @@
+/** @file Unit tests: the Bonsai optimizer reproduces the paper's
+ *  published optimal configurations. */
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "core/platforms.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+model::BonsaiInputs
+inputs(std::uint64_t bytes, model::HardwareParams hw = core::awsF1(),
+       std::uint64_t record_bytes = 4)
+{
+    model::BonsaiInputs in;
+    in.array = {bytes / record_bytes, record_bytes};
+    in.hw = hw;
+    return in;
+}
+
+TEST(Optimizer, F1LatencyOptimalIsAmt32_256)
+{
+    // Section IV-A: "the latency-optimized configuration for this
+    // setup uses a single AMT(32, 256)".
+    core::Optimizer opt(inputs(16 * kGB));
+    const auto best = opt.best(core::Objective::Latency);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->config.p, 32u);
+    EXPECT_EQ(best->config.ell, 256u);
+    EXPECT_EQ(best->config.lambdaPipe, 1u);
+}
+
+TEST(Optimizer, LatencyOptimalSaturatesDramBandwidth)
+{
+    // "optimal single-AMT configurations always have throughput p
+    // exactly high enough to saturate DRAM bandwidth" (VI-B2).
+    for (double bw : {8.0, 16.0, 32.0}) {
+        model::HardwareParams hw = core::awsF1();
+        hw.betaDram = bw * kGB;
+        core::Optimizer opt(inputs(16 * kGB, hw));
+        const auto best = opt.best(core::Objective::Latency);
+        ASSERT_TRUE(best.has_value()) << bw;
+        const double tree_rate = best->config.p * 250e6 * 4;
+        EXPECT_GE(tree_rate * best->config.lambdaUnrl, bw * 1e9) << bw;
+    }
+}
+
+TEST(Optimizer, ThroughputOptimalMatchesPaperPhase1)
+{
+    // Section IV-C: 8 GB chunks, pipeline of 4 AMT(8, 64) saturating
+    // the 8 GB/s I/O bus.
+    model::BonsaiInputs in = inputs(8 * kGB);
+    in.arch.presortRunLength = 256;
+    core::Optimizer opt(in);
+    const auto best = opt.best(core::Objective::Throughput);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_DOUBLE_EQ(best->perf.throughputBytesPerSec, 8e9);
+    EXPECT_EQ(best->config.lambdaPipe, 4u);
+    EXPECT_EQ(best->config.p, 8u);
+    EXPECT_EQ(best->config.ell, 64u);
+}
+
+TEST(Optimizer, SsdPhase2LatencyOptimalIsAmt8_256)
+{
+    // Section IV-C phase 2: SSD as off-chip memory (8 GB/s), chunked
+    // 8 GB runs -> AMT(8, 256).
+    model::HardwareParams hw = core::awsF1();
+    hw.betaDram = 8.0 * kGB;
+    model::BonsaiInputs in = inputs(2 * kTB, hw);
+    in.arch.presortRunLength = 2ULL * kGB; // 8 GB runs of 4 B records
+    core::Optimizer opt(in);
+    const auto best = opt.best(core::Objective::Latency);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->config.p, 8u);
+    EXPECT_EQ(best->config.ell, 256u);
+    EXPECT_EQ(best->perf.stages, 1u);
+}
+
+TEST(Optimizer, HbmPicksWideUnrolling)
+{
+    // Section IV-B: on a 512 GB/s HBM the optimizer unrolls many
+    // p=32 trees to saturate the bandwidth (paper: 16x AMT(32, 2)).
+    model::BonsaiInputs in = inputs(16 * kGB, core::hbmU50());
+    core::SearchSpace space;
+    space.withPresorter = false; // per-tree presorters exceed C_LUT
+    core::Optimizer opt(in, space);
+    const auto best = opt.best(core::Objective::Latency);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->config.p, 32u);
+    EXPECT_GE(best->config.lambdaUnrl, 8u);
+    EXPECT_LE(best->config.ell, 4u);
+}
+
+TEST(Optimizer, RanksFeasibleConfigsBestFirst)
+{
+    core::Optimizer opt(inputs(4 * kGB));
+    const auto ranked = opt.rank(core::Objective::Latency);
+    ASSERT_GT(ranked.size(), 10u);
+    for (std::size_t i = 1; i < ranked.size(); ++i) {
+        EXPECT_LE(ranked[i - 1].perf.latencySeconds,
+                  ranked[i].perf.latencySeconds);
+    }
+    // Every ranked design must actually fit.
+    for (const auto &rc : ranked) {
+        EXPECT_LE(rc.resources.totalLut(), core::awsF1().cLut);
+        EXPECT_GT(rc.batchBytes, 0u);
+    }
+}
+
+TEST(Optimizer, InfeasibleWhenChipTooSmall)
+{
+    model::HardwareParams hw = core::awsF1();
+    hw.cLut = 100; // tiny FPGA
+    core::Optimizer opt(inputs(1 * kGB, hw));
+    EXPECT_FALSE(opt.best(core::Objective::Latency).has_value());
+}
+
+TEST(Optimizer, ThroughputObjectiveRejectsUndersizedPipelines)
+{
+    // A pipeline that cannot hold the array (Equation 5) must not be
+    // returned.
+    model::BonsaiInputs in = inputs(32 * kGB);
+    core::Optimizer opt(in);
+    const auto ranked = opt.rank(core::Objective::Throughput);
+    for (const auto &rc : ranked) {
+        EXPECT_GE(model::pipelineCapacityRecords(in, rc.config),
+                  in.array.n);
+    }
+}
+
+TEST(Optimizer, WideRecordsStillHaveFeasibleConfigs)
+{
+    // 16-byte records (the gensort path).
+    core::Optimizer opt(inputs(16 * kGB, core::awsF1(), 16));
+    const auto best = opt.best(core::Objective::Latency);
+    ASSERT_TRUE(best.has_value());
+    // 128-bit records reach 32 GB/s with p = 8 (Table VI(b)).
+    EXPECT_LE(best->config.p, 16u);
+    EXPECT_GE(best->config.p * 250e6 * 16.0, 32e9);
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,52 @@
+/** @file Unit tests for the platform presets. */
+
+#include <gtest/gtest.h>
+
+#include "core/platforms.hpp"
+#include "model/resource_model.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(Platforms, AwsF1MatchesPaperSection6A)
+{
+    const auto hw = core::awsF1();
+    EXPECT_DOUBLE_EQ(hw.betaDram, 32e9); // 4 banks x 8 GB/s
+    EXPECT_EQ(hw.dramBanks, 4u);
+    EXPECT_EQ(hw.cDram, 64 * kGB);
+    EXPECT_EQ(hw.cLut, 862'128u);                    // Table IV
+    EXPECT_EQ(model::bramBlockCapacity(hw), 1600u);  // Table IV
+    EXPECT_EQ(hw.batchBytes, 4096u); // 1-4 KB batching (Section II)
+}
+
+TEST(Platforms, SingleBankIsOneQuarter)
+{
+    const auto hw = core::awsF1SingleBank();
+    EXPECT_DOUBLE_EQ(hw.betaDram, 8e9);
+    EXPECT_EQ(hw.dramBanks, 1u);
+    // Same chip otherwise.
+    EXPECT_EQ(hw.cLut, core::awsF1().cLut);
+}
+
+TEST(Platforms, HbmMatchesSection4B)
+{
+    const auto hw = core::hbmU50();
+    EXPECT_DOUBLE_EQ(hw.betaDram, 512e9);
+    EXPECT_EQ(hw.cDram, 16 * kGB);
+    EXPECT_EQ(hw.dramBanks, 32u);
+    const auto hw256 = core::hbmU50(256.0);
+    EXPECT_DOUBLE_EQ(hw256.betaDram, 256e9);
+}
+
+TEST(Platforms, SsdDefaultsMatchSection4C)
+{
+    const core::SsdParams ssd;
+    EXPECT_DOUBLE_EQ(ssd.ioBandwidth, 8e9);
+    EXPECT_EQ(ssd.capacity, 2 * kTB);
+    EXPECT_DOUBLE_EQ(core::kReprogramSeconds, 4.3);
+}
+
+} // namespace
+} // namespace bonsai

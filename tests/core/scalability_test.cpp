@@ -1,0 +1,90 @@
+/** @file Unit tests: Figure 13 / Table I scalability curve. */
+
+#include <gtest/gtest.h>
+
+#include "core/scalability.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(Scalability, Figure13StepAtTwoGb)
+{
+    // First step: 3 -> 4 DRAM stages between 1 GB and 2 GB (1.33x).
+    core::ScalabilityParams params;
+    const auto at_1gb = core::scalabilityAt(params, 1 * kGB);
+    const auto at_2gb = core::scalabilityAt(params, 2 * kGB);
+    EXPECT_EQ(at_1gb.stages, 3u);
+    EXPECT_EQ(at_2gb.stages, 4u);
+    EXPECT_NEAR(at_2gb.msPerGb / at_1gb.msPerGb, 4.0 / 3.0, 1e-6);
+}
+
+TEST(Scalability, Figure13SwitchToSsdAt128Gb)
+{
+    core::ScalabilityParams params;
+    EXPECT_FALSE(core::scalabilityAt(params, 64 * kGB).usesSsd);
+    EXPECT_TRUE(core::scalabilityAt(params, 128 * kGB).usesSsd);
+}
+
+TEST(Scalability, Figure13ExtraPhase2StageAt32Tb)
+{
+    // 64 GB chunks x 256 = 16 TB in one round trip; 32 TB needs two.
+    core::ScalabilityParams params;
+    EXPECT_EQ(core::scalabilityAt(params, 16 * kTB).stages, 2u);
+    EXPECT_EQ(core::scalabilityAt(params, 32 * kTB).stages, 3u);
+    const double ratio = core::scalabilityAt(params, 32 * kTB).msPerGb /
+        core::scalabilityAt(params, 16 * kTB).msPerGb;
+    EXPECT_NEAR(ratio, 1.5, 1e-6);
+}
+
+TEST(Scalability, Figure13FourthStepAt4096Tb)
+{
+    // 256^2 x 64 GB = 4096 TB: one more round trip past it (1.33x).
+    core::ScalabilityParams params;
+    EXPECT_EQ(core::scalabilityAt(params, 4096 * kTB).stages, 3u);
+    EXPECT_EQ(core::scalabilityAt(params, 8192 * kTB).stages, 4u);
+    const double ratio =
+        core::scalabilityAt(params, 8192 * kTB).msPerGb /
+        core::scalabilityAt(params, 4096 * kTB).msPerGb;
+    EXPECT_NEAR(ratio, 4.0 / 3.0, 1e-6);
+}
+
+TEST(Scalability, TableOneBonsaiRowDramRange)
+{
+    // The as-implemented DRAM sorter (ell = 64, measured 29 GB/s)
+    // gives Table I's 172 ms/GB across 4-64 GB.
+    core::ScalabilityParams params;
+    params.dramEll = 64;
+    for (std::uint64_t gb : {4u, 8u, 16u, 32u, 64u}) {
+        const auto pt = core::scalabilityAt(params, gb * kGB);
+        EXPECT_EQ(pt.stages, 5u) << gb;
+        EXPECT_NEAR(pt.msPerGb, 172.0, 2.5) << gb;
+    }
+}
+
+TEST(Scalability, TableOneBonsaiRowSsdRange)
+{
+    // 128 GB - 2 TB: 250 ms/GB (two 8 GB/s passes);
+    // 100 TB: 375 ms/GB (three passes).
+    core::ScalabilityParams params;
+    params.dramEll = 64;
+    for (auto bytes : {128 * kGB, 512 * kGB, 2 * kTB}) {
+        const auto pt = core::scalabilityAt(params, bytes);
+        EXPECT_NEAR(pt.msPerGb, 250.0, 1.0);
+    }
+    EXPECT_NEAR(core::scalabilityAt(params, 100 * kTB).msPerGb, 375.0,
+                1.0);
+}
+
+TEST(Scalability, LatencyScalesLinearlyWithinRegime)
+{
+    core::ScalabilityParams params;
+    const auto a = core::scalabilityAt(params, 4 * kGB);
+    const auto b = core::scalabilityAt(params, 8 * kGB);
+    EXPECT_EQ(a.stages, b.stages);
+    EXPECT_NEAR(b.latencySeconds / a.latencySeconds, 2.0, 1e-9);
+}
+
+} // namespace
+} // namespace bonsai

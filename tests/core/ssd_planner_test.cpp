@@ -1,0 +1,86 @@
+/** @file Unit tests: two-phase SSD plan reproduces Table V. */
+
+#include <gtest/gtest.h>
+
+#include "core/ssd_planner.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+core::SsdPlan
+planFor(std::uint64_t bytes)
+{
+    model::ArrayParams array{bytes / 4, 4};
+    model::MergerArchParams arch;
+    const auto plan = core::planSsdSort(array, core::awsF1(), arch,
+                                        core::SsdParams{});
+    EXPECT_TRUE(plan.has_value());
+    return *plan;
+}
+
+TEST(SsdPlanner, TableVTwoTerabyteBreakdown)
+{
+    // Table V: phase one 256 s, reprogramming 4.3 s, phase two 256 s,
+    // total 516.3 s (paper used 2 TB at 8 GB/s; decimal units give
+    // 250 + 4.3 + 250).
+    const core::SsdPlan plan = planFor(2 * kTB);
+    EXPECT_NEAR(plan.phase1Seconds, 250.0, 5.0);
+    EXPECT_NEAR(plan.phase2Seconds, 250.0, 5.0);
+    EXPECT_DOUBLE_EQ(plan.reprogramSeconds, 4.3);
+    EXPECT_NEAR(plan.totalSeconds(), 504.3, 10.0);
+    EXPECT_EQ(plan.phase2Stages, 1u);
+}
+
+TEST(SsdPlanner, PhaseConfigsMatchPaper)
+{
+    const core::SsdPlan plan = planFor(2 * kTB);
+    // Phase 1: pipeline of 4 AMT(8, 64) at 8 GB/s (Figure 4).
+    EXPECT_EQ(plan.phase1.config.lambdaPipe, 4u);
+    EXPECT_EQ(plan.phase1.config.p, 8u);
+    EXPECT_EQ(plan.phase1.config.ell, 64u);
+    EXPECT_DOUBLE_EQ(plan.phase1.perf.throughputBytesPerSec, 8e9);
+    // Phase 2: one AMT(8, 256) (Figure 6).
+    EXPECT_EQ(plan.phase2.config.p, 8u);
+    EXPECT_EQ(plan.phase2.config.ell, 256u);
+    // 8 GB phase-1 chunks.
+    EXPECT_EQ(plan.chunkRecords, 2ULL * kGB);
+}
+
+TEST(SsdPlanner, SingleRoundTripUpToTwoTerabytes)
+{
+    // 256 chunks x 8 GB = 2 TB in one phase-2 round trip (IV-C).
+    EXPECT_EQ(planFor(512 * kGB).phase2Stages, 1u);
+    EXPECT_EQ(planFor(2 * kTB).phase2Stages, 1u);
+}
+
+TEST(SsdPlanner, SecondRoundTripBeyondTwoTerabytes)
+{
+    EXPECT_EQ(planFor(16 * kTB).phase2Stages, 2u);
+    // Up to 512 TB with two round trips (256 * 2 TB).
+    EXPECT_EQ(planFor(500 * kTB).phase2Stages, 2u);
+}
+
+TEST(SsdPlanner, ThroughputAtScaleMatchesPaperProjection)
+{
+    // "sort 2 TB of data in 512 s (4 GB/s)": total rate is half the
+    // 8 GB/s line rate because the data makes two full trips.
+    const core::SsdPlan plan = planFor(2 * kTB);
+    const double rate =
+        static_cast<double>(2 * kTB) / plan.totalSeconds();
+    EXPECT_NEAR(rate / 1e9, 4.0, 0.1);
+}
+
+TEST(SsdPlanner, SeventeenXOverTerabyteSort)
+{
+    // Paper: 17.3x lower latency than TerabyteSort [29] on 1 TB
+    // (4,347 ms/GB vs Bonsai's ~250 ms/GB + reprogram).
+    const core::SsdPlan plan = planFor(1 * kTB);
+    const double ms_per_gb =
+        plan.totalSeconds() * 1e3 / (1 * kTB / kGB);
+    EXPECT_NEAR(4347.0 / ms_per_gb, 17.3, 0.7);
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,143 @@
+/** @file Unit tests for the bitonic networks (0-1 principle based). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.hpp"
+#include "common/record.hpp"
+#include "hw/bitonic.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+std::vector<Record>
+fromBits(unsigned bits, unsigned n)
+{
+    std::vector<Record> recs(n);
+    for (unsigned i = 0; i < n; ++i)
+        recs[i] = Record{((bits >> i) & 1) + 1, i};
+    return recs;
+}
+
+TEST(Bitonic, IsPow2)
+{
+    EXPECT_TRUE(hw::isPow2(1));
+    EXPECT_TRUE(hw::isPow2(2));
+    EXPECT_TRUE(hw::isPow2(1024));
+    EXPECT_FALSE(hw::isPow2(0));
+    EXPECT_FALSE(hw::isPow2(3));
+    EXPECT_FALSE(hw::isPow2(1023));
+}
+
+TEST(Bitonic, Log2Exact)
+{
+    EXPECT_EQ(hw::log2Exact(1), 0u);
+    EXPECT_EQ(hw::log2Exact(2), 1u);
+    EXPECT_EQ(hw::log2Exact(256), 8u);
+}
+
+/**
+ * 0-1 principle: a comparison network sorts all inputs iff it sorts
+ * all 0-1 sequences.  Exhaustive over every 0-1 input for n <= 16.
+ */
+TEST(Bitonic, SortNetworkZeroOnePrincipleExhaustive)
+{
+    for (unsigned n : {2u, 4u, 8u, 16u}) {
+        for (unsigned bits = 0; bits < (1u << n); ++bits) {
+            auto recs = fromBits(bits, n);
+            hw::bitonicSortNetwork(std::span<Record>(recs));
+            EXPECT_TRUE(std::is_sorted(recs.begin(), recs.end()))
+                << "n=" << n << " bits=" << bits;
+        }
+    }
+}
+
+TEST(Bitonic, SortNetworkRandomSweep)
+{
+    for (unsigned n : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        for (std::uint64_t seed = 0; seed < 20; ++seed) {
+            auto recs = makeRecords(n, Distribution::UniformRandom,
+                                    seed);
+            auto expect = recs;
+            std::sort(expect.begin(), expect.end());
+            hw::bitonicSortNetwork(std::span<Record>(recs));
+            for (unsigned i = 0; i < n; ++i)
+                EXPECT_EQ(recs[i].key, expect[i].key);
+        }
+    }
+}
+
+/**
+ * Half-merger: merging two sorted halves must equal std::merge,
+ * exhaustively over 0-1 sequences.
+ */
+TEST(Bitonic, MergeSortedHalvesZeroOneExhaustive)
+{
+    for (unsigned n : {2u, 4u, 8u, 16u}) {
+        const unsigned half = n / 2;
+        for (unsigned bits = 0; bits < (1u << n); ++bits) {
+            auto recs = fromBits(bits, n);
+            std::sort(recs.begin(), recs.begin() + half);
+            std::sort(recs.begin() + half, recs.end());
+            auto expect = recs;
+            std::inplace_merge(expect.begin(), expect.begin() + half,
+                               expect.end());
+            hw::mergeSortedHalves(std::span<Record>(recs));
+            for (unsigned i = 0; i < n; ++i)
+                EXPECT_EQ(recs[i].key, expect[i].key)
+                    << "n=" << n << " bits=" << bits;
+        }
+    }
+}
+
+TEST(Bitonic, MergeSortedHalvesRandomWide)
+{
+    for (unsigned n : {32u, 64u, 128u}) {
+        for (std::uint64_t seed = 0; seed < 10; ++seed) {
+            auto recs = makeRecords(n, Distribution::UniformRandom,
+                                    seed);
+            std::sort(recs.begin(), recs.begin() + n / 2);
+            std::sort(recs.begin() + n / 2, recs.end());
+            auto expect = recs;
+            std::inplace_merge(expect.begin(),
+                               expect.begin() + n / 2, expect.end());
+            hw::mergeSortedHalves(std::span<Record>(recs));
+            for (unsigned i = 0; i < n; ++i)
+                EXPECT_EQ(recs[i].key, expect[i].key);
+        }
+    }
+}
+
+TEST(Bitonic, CasCounts)
+{
+    // 2k-record half-merger: log2(2k) stages x k CAS.
+    EXPECT_EQ(hw::casCountHalfMerger(1), 1u);
+    EXPECT_EQ(hw::casCountHalfMerger(2), 4u);
+    EXPECT_EQ(hw::casCountHalfMerger(4), 12u);
+    EXPECT_EQ(hw::casCountHalfMerger(32), 192u);
+    // n-record sorter: n/2 CAS x log(n)(log(n)+1)/2 stages.
+    EXPECT_EQ(hw::casCountSorter(2), 1u);
+    EXPECT_EQ(hw::casCountSorter(4), 6u);
+    EXPECT_EQ(hw::casCountSorter(16), 80u);
+}
+
+TEST(Bitonic, MergerLatencyIsTwoHalfMergers)
+{
+    EXPECT_EQ(hw::mergerLatency(1), 2u);
+    EXPECT_EQ(hw::mergerLatency(2), 4u);
+    EXPECT_EQ(hw::mergerLatency(16), 10u);
+    EXPECT_EQ(hw::mergerLatency(32), 12u);
+}
+
+TEST(Bitonic, SortNetworkHandlesDuplicates)
+{
+    auto recs = makeRecords(64, Distribution::AllEqual);
+    hw::bitonicSortNetwork(std::span<Record>(recs));
+    EXPECT_TRUE(std::is_sorted(recs.begin(), recs.end()));
+}
+
+} // namespace
+} // namespace bonsai

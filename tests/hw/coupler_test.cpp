@@ -1,0 +1,73 @@
+/** @file Unit tests for the coupler (rate-matched forwarder). */
+
+#include <gtest/gtest.h>
+
+#include "common/record.hpp"
+#include "hw/coupler.hpp"
+#include "sim/engine.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(Coupler, ForwardsInOrderIncludingTerminals)
+{
+    sim::Fifo<Record> in(64);
+    sim::Fifo<Record> out(64);
+    hw::Coupler<Record> coupler("c", 4, in, out);
+    std::vector<Record> stream;
+    for (std::uint64_t i = 1; i <= 20; ++i)
+        stream.push_back(Record{i, 0});
+    stream.push_back(Record::terminal());
+    for (const Record &r : stream)
+        in.push(r);
+
+    sim::SimEngine engine;
+    engine.add(&coupler);
+    engine.run([&] { return out.size() == stream.size(); }, 1000);
+    for (const Record &r : stream)
+        EXPECT_EQ(out.pop(), r);
+    EXPECT_EQ(coupler.recordsForwarded(), stream.size());
+}
+
+TEST(Coupler, RespectsWidthPerCycle)
+{
+    sim::Fifo<Record> in(64);
+    sim::Fifo<Record> out(64);
+    hw::Coupler<Record> coupler("c", 2, in, out);
+    for (std::uint64_t i = 1; i <= 10; ++i)
+        in.push(Record{i, 0});
+    coupler.tick(0);
+    EXPECT_EQ(out.size(), 2u);
+    coupler.tick(1);
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(Coupler, StopsWhenOutputFull)
+{
+    sim::Fifo<Record> in(16);
+    sim::Fifo<Record> out(3);
+    hw::Coupler<Record> coupler("c", 8, in, out);
+    for (std::uint64_t i = 1; i <= 10; ++i)
+        in.push(Record{i, 0});
+    coupler.tick(0);
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_EQ(in.size(), 7u);
+    out.pop();
+    coupler.tick(1);
+    EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Coupler, IdlesOnEmptyInput)
+{
+    sim::Fifo<Record> in(4);
+    sim::Fifo<Record> out(4);
+    hw::Coupler<Record> coupler("c", 4, in, out);
+    coupler.tick(0);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(coupler.recordsForwarded(), 0u);
+}
+
+} // namespace
+} // namespace bonsai

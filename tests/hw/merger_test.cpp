@@ -1,0 +1,250 @@
+/** @file Unit tests for the k-merger component. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.hpp"
+#include "common/record.hpp"
+#include "hw/merger.hpp"
+#include "sim/engine.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+using Runs = std::vector<std::vector<Record>>;
+
+/** Push runs into a FIFO, one terminal after each run. */
+void
+feed(sim::Fifo<Record> &fifo, const Runs &runs)
+{
+    for (const auto &run : runs) {
+        for (const Record &r : run)
+            fifo.push(r);
+        fifo.push(Record::terminal());
+    }
+}
+
+std::size_t
+streamLength(const Runs &runs)
+{
+    std::size_t n = runs.size(); // terminals
+    for (const auto &run : runs)
+        n += run.size();
+    return n;
+}
+
+/** Expected output stream: pairwise-merged runs, each + terminal. */
+std::vector<Record>
+expectedStream(const Runs &a, const Runs &b)
+{
+    std::vector<Record> out;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        std::vector<Record> merged;
+        std::merge(a[i].begin(), a[i].end(), b[i].begin(), b[i].end(),
+                   std::back_inserter(merged));
+        for (const Record &r : merged)
+            out.push_back(r);
+        out.push_back(Record::terminal());
+    }
+    return out;
+}
+
+/** Drive one merger to completion; returns the raw output stream. */
+std::vector<Record>
+runMerger(unsigned k, const Runs &a, const Runs &b,
+          std::size_t out_capacity = 0, unsigned drain_rate = 0)
+{
+    sim::Fifo<Record> in_a(streamLength(a) + 1);
+    sim::Fifo<Record> in_b(streamLength(b) + 1);
+    if (out_capacity == 0)
+        out_capacity = 4 * (k + 1);
+    sim::Fifo<Record> out(out_capacity);
+    hw::Merger<Record> merger("m", k, in_a, in_b, out);
+    feed(in_a, a);
+    feed(in_b, b);
+
+    const std::size_t expected =
+        streamLength(a) + streamLength(b) - a.size();
+    std::vector<Record> got;
+    sim::SimEngine engine;
+    engine.add(&merger);
+    const auto result = engine.run(
+        [&] {
+            // Drain the output FIFO (optionally rate-limited to
+            // exercise back-pressure).
+            unsigned budget =
+                drain_rate == 0 ? static_cast<unsigned>(-1)
+                                : drain_rate;
+            while (!out.empty() && budget-- > 0)
+                got.push_back(out.pop());
+            return got.size() >= expected;
+        },
+        200000);
+    EXPECT_TRUE(result.finished) << "merger deadlocked (k=" << k << ")";
+    return got;
+}
+
+void
+check(unsigned k, const Runs &a, const Runs &b,
+      std::size_t out_capacity = 0, unsigned drain_rate = 0)
+{
+    ASSERT_EQ(a.size(), b.size());
+    const auto got = runMerger(k, a, b, out_capacity, drain_rate);
+    const auto expect = expectedStream(a, b);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].isTerminal(), expect[i].isTerminal())
+            << "position " << i;
+        EXPECT_EQ(got[i].key, expect[i].key) << "position " << i;
+    }
+}
+
+std::vector<Record>
+sortedRun(std::size_t n, std::uint64_t seed)
+{
+    auto run = makeRecords(n, Distribution::UniformRandom, seed);
+    std::sort(run.begin(), run.end());
+    return run;
+}
+
+class MergerWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MergerWidths, MergesSingleRunPair)
+{
+    const unsigned k = GetParam();
+    check(k, {sortedRun(40, 1)}, {sortedRun(52, 2)});
+}
+
+TEST_P(MergerWidths, MergesRunsOfTupleAlignedLength)
+{
+    const unsigned k = GetParam();
+    check(k, {sortedRun(4 * k, 3)}, {sortedRun(8 * k, 4)});
+}
+
+TEST_P(MergerWidths, MergesManyBackToBackRunPairs)
+{
+    const unsigned k = GetParam();
+    Runs a, b;
+    for (int i = 0; i < 6; ++i) {
+        a.push_back(sortedRun(10 + 3 * i, 10 + i));
+        b.push_back(sortedRun(17 - 2 * i, 20 + i));
+    }
+    check(k, a, b);
+}
+
+TEST_P(MergerWidths, HandlesEmptyRuns)
+{
+    const unsigned k = GetParam();
+    check(k, {{}, sortedRun(9, 5), {}},
+          {sortedRun(7, 6), {}, {}});
+}
+
+TEST_P(MergerWidths, HandlesAllEqualKeys)
+{
+    const unsigned k = GetParam();
+    std::vector<Record> run_a(30, Record{7, 1});
+    std::vector<Record> run_b(41, Record{7, 2});
+    check(k, {run_a}, {run_b});
+}
+
+TEST_P(MergerWidths, HandlesDisjointRanges)
+{
+    const unsigned k = GetParam();
+    std::vector<Record> low, high;
+    for (std::uint64_t i = 1; i <= 33; ++i)
+        low.push_back(Record{i, 0});
+    for (std::uint64_t i = 100; i < 149; ++i)
+        high.push_back(Record{i, 0});
+    check(k, {low}, {high});
+    check(k, {high}, {low});
+}
+
+TEST_P(MergerWidths, SurvivesBackPressure)
+{
+    const unsigned k = GetParam();
+    // Minimal legal output FIFO and a slow drain of 1 record/cycle.
+    check(k, {sortedRun(64, 8)}, {sortedRun(64, 9)}, 2 * (k + 1), 1);
+}
+
+TEST_P(MergerWidths, SingleRecordRuns)
+{
+    const unsigned k = GetParam();
+    Runs a, b;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        a.push_back({Record{2 * i + 1, 0}});
+        b.push_back({Record{2 * i + 2, 0}});
+    }
+    check(k, a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, MergerWidths,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(Merger, ThroughputApproachesKPerCycle)
+{
+    // A long tuple-aligned merge should take about n/k cycles plus
+    // pipeline latency and the run flush.
+    const unsigned k = 8;
+    const std::size_t n = 4096; // per input
+    sim::Fifo<Record> in_a(n + 2);
+    sim::Fifo<Record> in_b(n + 2);
+    sim::Fifo<Record> out(4 * (k + 1));
+    hw::Merger<Record> merger("m", k, in_a, in_b, out);
+    feed(in_a, {sortedRun(n, 1)});
+    feed(in_b, {sortedRun(n, 2)});
+    std::size_t drained = 0;
+    sim::SimEngine engine;
+    engine.add(&merger);
+    const auto result = engine.run(
+        [&] {
+            while (!out.empty()) {
+                out.pop();
+                ++drained;
+            }
+            return drained >= 2 * n + 1;
+        },
+        100000);
+    ASSERT_TRUE(result.finished);
+    const double ideal = 2.0 * n / k;
+    EXPECT_LT(static_cast<double>(result.cycles), ideal * 1.15 + 50);
+    EXPECT_GE(static_cast<double>(result.cycles), ideal);
+}
+
+TEST(Merger, FlushCountMatchesRunPairs)
+{
+    const unsigned k = 4;
+    Runs a, b;
+    for (int i = 0; i < 5; ++i) {
+        a.push_back(sortedRun(12, 30 + i));
+        b.push_back(sortedRun(12, 40 + i));
+    }
+    sim::Fifo<Record> in_a(streamLength(a) + 1);
+    sim::Fifo<Record> in_b(streamLength(b) + 1);
+    sim::Fifo<Record> out(64);
+    hw::Merger<Record> merger("m", k, in_a, in_b, out);
+    feed(in_a, a);
+    feed(in_b, b);
+    std::size_t drained = 0;
+    sim::SimEngine engine;
+    engine.add(&merger);
+    engine.run(
+        [&] {
+            while (!out.empty()) {
+                out.pop();
+                ++drained;
+            }
+            return drained >= 125;
+        },
+        100000);
+    EXPECT_EQ(merger.flushes(), 5u);
+    EXPECT_EQ(merger.recordsOut(), 120u);
+    EXPECT_TRUE(merger.quiescent());
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,81 @@
+/** @file Unit tests for the presorter component. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.hpp"
+#include "hw/presorter.hpp"
+#include "sim/engine.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+std::vector<Record>
+runPresorter(unsigned width, unsigned chunk,
+             const std::vector<Record> &input, bool terminals)
+{
+    sim::Fifo<Record> in(input.size() + 1);
+    sim::Fifo<Record> out(input.size() + input.size() / chunk + 8);
+    hw::Presorter<Record> pre("pre", width, chunk, in, out, terminals);
+    for (const Record &r : input)
+        in.push(r);
+
+    const std::size_t expect = input.size() +
+        (terminals ? (input.size() + chunk - 1) / chunk : 0);
+    sim::SimEngine engine;
+    engine.add(&pre);
+    engine.run(
+        [&] {
+            if (in.empty() && !pre.quiescent() &&
+                out.size() < expect) {
+                pre.flushTail();
+            }
+            return out.size() >= expect;
+        },
+        100000);
+    std::vector<Record> got;
+    while (!out.empty())
+        got.push_back(out.pop());
+    return got;
+}
+
+TEST(Presorter, Forms16RecordSortedRuns)
+{
+    const auto input = makeRecords(64, Distribution::UniformRandom);
+    const auto got = runPresorter(4, 16, input, true);
+    ASSERT_EQ(got.size(), 64u + 4u);
+    for (int run = 0; run < 4; ++run) {
+        const auto begin = got.begin() + run * 17;
+        EXPECT_TRUE(std::is_sorted(begin, begin + 16));
+        EXPECT_TRUE(got[run * 17 + 16].isTerminal());
+    }
+}
+
+TEST(Presorter, PreservesMultiset)
+{
+    const auto input = makeRecords(128, Distribution::Reverse);
+    auto got = runPresorter(8, 16, input, false);
+    ASSERT_EQ(got.size(), input.size());
+    auto sorted_in = input;
+    std::sort(sorted_in.begin(), sorted_in.end());
+    std::sort(got.begin(), got.end());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].key, sorted_in[i].key);
+}
+
+TEST(Presorter, HandlesNonPow2Tail)
+{
+    const auto input = makeRecords(20, Distribution::UniformRandom);
+    const auto got = runPresorter(4, 16, input, true);
+    ASSERT_EQ(got.size(), 20u + 2u);
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.begin() + 16));
+    EXPECT_TRUE(got[16].isTerminal());
+    EXPECT_TRUE(std::is_sorted(got.begin() + 17, got.begin() + 21));
+    EXPECT_TRUE(got[21].isTerminal());
+}
+
+} // namespace
+} // namespace bonsai

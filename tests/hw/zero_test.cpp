@@ -1,0 +1,79 @@
+/** @file Unit tests for the zero-append / zero-filter blocks. */
+
+#include <gtest/gtest.h>
+
+#include "common/record.hpp"
+#include "hw/zero.hpp"
+#include "sim/engine.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(ZeroAppend, InsertsTerminalEveryRunLength)
+{
+    sim::Fifo<Record> in(64);
+    sim::Fifo<Record> out(64);
+    hw::ZeroAppend<Record> append("za", 4, 3, in, out);
+    for (std::uint64_t i = 1; i <= 9; ++i)
+        in.push(Record{i, 0});
+
+    sim::SimEngine engine;
+    engine.add(&append);
+    engine.run([&] { return out.size() >= 12; }, 1000);
+
+    std::vector<bool> terminals;
+    while (!out.empty())
+        terminals.push_back(out.pop().isTerminal());
+    const std::vector<bool> expect = {false, false, false, true,
+                                      false, false, false, true,
+                                      false, false, false, true};
+    EXPECT_EQ(terminals, expect);
+}
+
+TEST(ZeroFilter, StripsTerminalsAndCountsRuns)
+{
+    sim::Fifo<Record> in(64);
+    sim::Fifo<Record> out(64);
+    hw::ZeroFilter<Record> filter("zf", 4, in, out);
+    for (int run = 0; run < 3; ++run) {
+        for (std::uint64_t i = 1; i <= 5; ++i)
+            in.push(Record{i, 0});
+        in.push(Record::terminal());
+    }
+
+    sim::SimEngine engine;
+    engine.add(&filter);
+    engine.run([&] { return out.size() >= 15; }, 1000);
+    EXPECT_EQ(out.size(), 15u);
+    EXPECT_EQ(filter.runsSeen(), 3u);
+    while (!out.empty())
+        EXPECT_FALSE(out.pop().isTerminal());
+}
+
+TEST(ZeroRoundTrip, AppendThenFilterIsIdentity)
+{
+    sim::Fifo<Record> source(128);
+    sim::Fifo<Record> mid(16);
+    sim::Fifo<Record> sink(128);
+    hw::ZeroAppend<Record> append("za", 4, 7, source, mid);
+    hw::ZeroFilter<Record> filter("zf", 4, mid, sink);
+    std::vector<Record> stream;
+    for (std::uint64_t i = 1; i <= 50; ++i)
+        stream.push_back(Record{i * 3, i});
+    for (const Record &r : stream)
+        source.push(r);
+
+    sim::SimEngine engine;
+    engine.add(&filter);
+    engine.add(&append);
+    engine.run([&] { return sink.size() >= stream.size(); }, 1000);
+    ASSERT_EQ(sink.size(), stream.size());
+    for (const Record &r : stream)
+        EXPECT_EQ(sink.pop(), r);
+    EXPECT_EQ(filter.runsSeen(), 7u); // floor(50 / 7) full runs
+}
+
+} // namespace
+} // namespace bonsai

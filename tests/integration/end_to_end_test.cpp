@@ -1,0 +1,136 @@
+/** @file End-to-end integration tests across the whole stack. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_sorters.hpp"
+#include "common/checks.hpp"
+#include "common/gensort.hpp"
+#include "common/random.hpp"
+#include "core/optimizer.hpp"
+#include "core/platforms.hpp"
+#include "sorter/sim_sorter.hpp"
+#include "sorter/sorters.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(EndToEnd, OptimizerConfigDrivesCycleSimCorrectly)
+{
+    // Pick the Bonsai-optimal config for a small array, then run the
+    // full cycle-accurate datapath with it.
+    model::BonsaiInputs in;
+    in.array = {60'000, 4};
+    in.hw = core::awsF1();
+    core::Optimizer opt(in);
+    const auto best = opt.best(core::Objective::Latency);
+    ASSERT_TRUE(best.has_value());
+
+    sorter::SimSorter<Record>::Options o;
+    o.config = best->config;
+    o.config.lambdaUnrl = 1; // cycle sim at unit unrolling
+    o.batchBytes = best->batchBytes;
+    o.recordBytes = 4;
+    o.presortRun = in.arch.presortRunLength;
+    o.mem.numBanks = in.hw.dramBanks;
+    o.mem.bankBytesPerCycle =
+        in.hw.betaDram / in.hw.dramBanks / in.arch.frequencyHz;
+
+    auto data = makeRecords(60'000, Distribution::UniformRandom);
+    const Fingerprint before =
+        fingerprint(std::span<const Record>(data));
+    sorter::SimSorter<Record> sim(o);
+    const auto stats = sim.sort(data);
+    ASSERT_TRUE(stats.completed);
+    EXPECT_TRUE(isSorted(std::span<const Record>(data)));
+    EXPECT_EQ(before, fingerprint(std::span<const Record>(data)));
+}
+
+TEST(EndToEnd, GensortPipelineSortsAndValidates)
+{
+    // gensort -> pack -> Bonsai sort -> valsort-style check.
+    GensortGenerator gen(42);
+    const auto raw = gen.generate(0, 100'000);
+    auto packed = packGensort(raw);
+    const Fingerprint before =
+        fingerprint(std::span<const Record128>(packed));
+
+    sorter::DramSorter sorter;
+    sorter.sort(packed, 16);
+    EXPECT_TRUE(isSorted(std::span<const Record128>(packed)));
+    EXPECT_EQ(before, fingerprint(std::span<const Record128>(packed)));
+}
+
+TEST(EndToEnd, GensortRecordsThroughCycleAccurateDatapath)
+{
+    // The 16-byte gensort path (10-byte key + 6-byte hash) through
+    // the full cycle-level simulator with r = 16 timing.
+    GensortGenerator gen(7);
+    auto packed = packGensort(gen.generate(0, 20'000));
+    const Fingerprint before =
+        fingerprint(std::span<const Record128>(packed));
+    sorter::SimSorter<Record128>::Options o;
+    o.config = amt::AmtConfig{8, 16, 1, 1};
+    o.recordBytes = 16;
+    o.batchBytes = 1024;
+    o.mem.numBanks = 4;
+    o.mem.bankBytesPerCycle = 32.0;
+    sorter::SimSorter<Record128> sim(o);
+    const auto stats = sim.sort(packed);
+    ASSERT_TRUE(stats.completed);
+    EXPECT_TRUE(isSorted(std::span<const Record128>(packed)));
+    EXPECT_EQ(before, fingerprint(std::span<const Record128>(packed)));
+    // r = 16 makes the tree 32 GB/s at p = 8: stage time tracks the
+    // record-width-aware model.
+    model::BonsaiInputs in;
+    in.array = {packed.size(), 16};
+    in.hw = core::awsF1();
+    const auto predicted =
+        model::latencyEstimate(in, amt::AmtConfig{8, 16, 1, 1});
+    EXPECT_EQ(stats.stages, predicted.stages);
+}
+
+TEST(EndToEnd, AllSortersAgreeOnTheSameInput)
+{
+    const auto input =
+        makeRecords(30'000, Distribution::FewDistinct, 123);
+
+    auto via_std = input;
+    baseline::stdSort(via_std);
+
+    auto via_behavioral = input;
+    sorter::BehavioralSorter<Record>(64, 16).sort(via_behavioral);
+
+    auto via_sim = input;
+    sorter::SimSorter<Record>::Options o;
+    o.config = amt::AmtConfig{8, 16, 1, 1};
+    sorter::SimSorter<Record> sim(o);
+    ASSERT_TRUE(sim.sort(via_sim).completed);
+
+    auto via_radix = input;
+    baseline::parallelMsdRadixSort(via_radix, 2);
+
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        EXPECT_EQ(via_behavioral[i].key, via_std[i].key);
+        EXPECT_EQ(via_sim[i].key, via_std[i].key);
+        EXPECT_EQ(via_radix[i].key, via_std[i].key);
+    }
+}
+
+TEST(EndToEnd, SsdTwoPhaseAtScaledDownCapacity)
+{
+    model::HardwareParams hw = core::awsF1();
+    hw.cDram = 1'000'000; // 125 K-record chunks
+    sorter::SsdSorter sorter(hw);
+    auto data = makeRecords(1'000'000, Distribution::UniformRandom, 9);
+    const Fingerprint before =
+        fingerprint(std::span<const Record>(data));
+    const auto report = sorter.sort(data, 4);
+    EXPECT_TRUE(isSorted(std::span<const Record>(data)));
+    EXPECT_EQ(before, fingerprint(std::span<const Record>(data)));
+    EXPECT_GE(report.plan.phase2Stages, 1u);
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Randomized property tests across the whole stack: random
+ * configuration x size x distribution combinations, run end to end
+ * on the cycle simulator and cross-checked for sortedness and
+ * multiset preservation, plus a merger-level fuzz against std::merge
+ * with adversarial run structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/checks.hpp"
+#include "common/random.hpp"
+#include "hw/merger.hpp"
+#include "sim/engine.hpp"
+#include "sorter/behavioral.hpp"
+#include "sorter/sim_sorter.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+class SimFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SimFuzz, RandomConfigSortsCorrectly)
+{
+    SplitMix64 rng(GetParam());
+    const unsigned p = 1u << rng.nextBounded(6);        // 1..32
+    const unsigned ell = 2u << rng.nextBounded(5);      // 2..32
+    const unsigned unroll = 1u << rng.nextBounded(3);   // 1..4
+    const std::size_t n = 100 + rng.nextBounded(20'000);
+    const auto dist = static_cast<Distribution>(rng.nextBounded(6));
+    const std::uint64_t presort = rng.nextBounded(2) ? 16 : 1;
+
+    sorter::SimSorter<Record>::Options o;
+    o.config = amt::AmtConfig{p, ell, unroll, 1};
+    o.mem.numBanks = 1 + static_cast<unsigned>(rng.nextBounded(4));
+    o.mem.bankBytesPerCycle = 8.0 * (1 + rng.nextBounded(4));
+    o.mem.requestLatency = rng.nextBounded(32);
+    o.batchBytes = 256u << rng.nextBounded(3);
+    o.presortRun = presort;
+    o.unrollMode = rng.nextBounded(2)
+        ? sorter::UnrollMode::AddressRange
+        : sorter::UnrollMode::RangePartitioned;
+
+    auto data = makeRecords(n, dist, GetParam());
+    const Fingerprint before =
+        fingerprint(std::span<const Record>(data));
+    sorter::SimSorter<Record> sim(o);
+    const auto stats = sim.sort(data);
+    ASSERT_TRUE(stats.completed)
+        << "p=" << p << " ell=" << ell << " unroll=" << unroll
+        << " n=" << n << " dist=" << static_cast<int>(dist);
+    EXPECT_TRUE(isSorted(std::span<const Record>(data)));
+    EXPECT_EQ(before, fingerprint(std::span<const Record>(data)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+class MergerFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MergerFuzz, RandomRunStructuresMatchStdMerge)
+{
+    SplitMix64 rng(GetParam() * 77);
+    const unsigned k = 1u << rng.nextBounded(6);
+    const unsigned pairs = 1 + rng.nextBounded(8);
+
+    std::vector<std::vector<Record>> runs_a(pairs), runs_b(pairs);
+    std::size_t stream_len = 2 * pairs;
+    for (unsigned i = 0; i < pairs; ++i) {
+        // Adversarial lengths: empty, single, k-aligned, prime.
+        const std::size_t choices[] = {0, 1, k, 2 * k, 7, 13, 97};
+        auto fill = [&](std::vector<Record> &run) {
+            const std::size_t len = choices[rng.nextBounded(7)];
+            run = makeRecords(len, Distribution::UniformRandom,
+                              rng.next());
+            std::sort(run.begin(), run.end());
+            stream_len += len;
+        };
+        fill(runs_a[i]);
+        fill(runs_b[i]);
+    }
+
+    sim::Fifo<Record> in_a(stream_len + 2);
+    sim::Fifo<Record> in_b(stream_len + 2);
+    sim::Fifo<Record> out(4 * (k + 1));
+    hw::Merger<Record> merger("m", k, in_a, in_b, out);
+    std::size_t expected_records = 0;
+    std::vector<Record> expect;
+    for (unsigned i = 0; i < pairs; ++i) {
+        for (const Record &r : runs_a[i])
+            in_a.push(r);
+        in_a.push(Record::terminal());
+        for (const Record &r : runs_b[i])
+            in_b.push(r);
+        in_b.push(Record::terminal());
+        std::merge(runs_a[i].begin(), runs_a[i].end(),
+                   runs_b[i].begin(), runs_b[i].end(),
+                   std::back_inserter(expect));
+        expected_records += runs_a[i].size() + runs_b[i].size();
+    }
+
+    std::vector<Record> got;
+    std::size_t terminals = 0;
+    sim::SimEngine engine;
+    engine.add(&merger);
+    const auto result = engine.run(
+        [&] {
+            while (!out.empty()) {
+                const Record r = out.pop();
+                if (r.isTerminal())
+                    ++terminals;
+                else
+                    got.push_back(r);
+            }
+            return terminals >= pairs;
+        },
+        500'000);
+    ASSERT_TRUE(result.finished) << "k=" << k << " pairs=" << pairs;
+    ASSERT_EQ(got.size(), expected_records);
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].key, expect[i].key);
+    EXPECT_EQ(terminals, pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergerFuzz,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(StatsFuzz, StageReportsAreConsistent)
+{
+    sorter::SimSorter<Record>::Options o;
+    o.config = amt::AmtConfig{8, 16, 1, 1};
+    o.mem.numBanks = 4;
+    o.mem.bankBytesPerCycle = 32.0;
+    auto data = makeRecords(30'000, Distribution::UniformRandom);
+    sorter::SimSorter<Record> sim(o);
+    const auto stats = sim.sort(data);
+    ASSERT_TRUE(stats.completed);
+    ASSERT_EQ(stats.stageReports.size(), stats.stages);
+    std::uint64_t cycles = 0, read = 0, written = 0;
+    for (const auto &report : stats.stageReports) {
+        cycles += report.cycles;
+        read += report.bytesRead;
+        written += report.bytesWritten;
+        EXPECT_GT(report.groups, 0u);
+        EXPECT_GE(report.readUtilization, 0.0);
+        EXPECT_LE(report.readUtilization, 1.0);
+    }
+    EXPECT_EQ(cycles, stats.totalCycles);
+    EXPECT_EQ(read, stats.bytesRead);
+    EXPECT_EQ(written, stats.bytesWritten);
+}
+
+} // namespace
+} // namespace bonsai

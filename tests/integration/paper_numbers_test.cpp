@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Paper-number regression suite: pins every headline quantity the
+ * benchmark harness reproduces, so a refactor that silently changes a
+ * reproduced result fails CI.  Each expectation cites the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/published.hpp"
+#include "bonsai.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(PaperNumbers, Table1BonsaiRowExact)
+{
+    // Table I: 172 ms/GB (4-64 GB), 250 (128 GB-2 TB), 375 (100 TB).
+    core::ScalabilityParams params;
+    params.dramEll = 64;
+    for (std::size_t i = 0; i < baseline::kTable1Sizes.size(); ++i) {
+        const auto pt =
+            core::scalabilityAt(params, baseline::kTable1Sizes[i]);
+        EXPECT_NEAR(pt.msPerGb, baseline::kTable1Bonsai[i],
+                    0.015 * baseline::kTable1Bonsai[i])
+            << "column " << i;
+    }
+}
+
+TEST(PaperNumbers, Figure11SpeedupsAt32Gb)
+{
+    // Abstract / VI-C1: "2.3x, 3.7x, and 1.3x lower sorting time than
+    // the best designs on CPUs, FPGAs, and GPUs".
+    core::ScalabilityParams params;
+    params.dramEll = 64;
+    const double bonsai =
+        core::scalabilityAt(params, 32 * kGB).msPerGb;
+    EXPECT_NEAR(*baseline::publishedMsPerGb("PARADIS [20]", 32 * kGB) /
+                    bonsai,
+                2.3, 0.05);
+    EXPECT_NEAR(
+        *baseline::publishedMsPerGb("SampleSort [19]", 32 * kGB) /
+            bonsai,
+        3.7, 0.05);
+    EXPECT_NEAR(*baseline::publishedMsPerGb("HRS [18]", 32 * kGB) /
+                    bonsai,
+                1.3, 0.05);
+}
+
+TEST(PaperNumbers, PublishedOptimaAllFour)
+{
+    // IV-A: single AMT(32, 256) latency-optimal on the F1.
+    {
+        model::BonsaiInputs in;
+        in.array = {16ULL * kGB / 4, 4};
+        in.hw = core::awsF1();
+        const auto best =
+            core::Optimizer(in).best(core::Objective::Latency);
+        ASSERT_TRUE(best);
+        EXPECT_EQ(best->config.p, 32u);
+        EXPECT_EQ(best->config.ell, 256u);
+    }
+    // IV-C phase 1: 4-deep pipeline of AMT(8, 64) at 8 GB/s.
+    {
+        const auto plan = core::planSsdSort(
+            {2 * kTB / 4, 4}, core::awsF1(), {}, core::SsdParams{});
+        ASSERT_TRUE(plan);
+        EXPECT_EQ(plan->phase1.config.lambdaPipe, 4u);
+        EXPECT_EQ(plan->phase1.config.p, 8u);
+        EXPECT_EQ(plan->phase1.config.ell, 64u);
+        // IV-C phase 2: AMT(8, 256), one SSD round trip for 2 TB.
+        EXPECT_EQ(plan->phase2.config.p, 8u);
+        EXPECT_EQ(plan->phase2.config.ell, 256u);
+        EXPECT_EQ(plan->phase2Stages, 1u);
+    }
+    // VI-C1: as-built ell = 64 under routing congestion.
+    {
+        model::BonsaiInputs in;
+        in.array = {16ULL * kGB / 4, 4};
+        in.hw = core::awsF1();
+        in.arch.routingDerate = true;
+        core::SearchSpace single_tree;
+        single_tree.maxUnroll = 1;
+        const auto built = core::Optimizer(in, single_tree)
+                               .best(core::Objective::Latency);
+        ASSERT_TRUE(built);
+        EXPECT_EQ(built->config.ell, 64u);
+    }
+}
+
+TEST(PaperNumbers, Figure10ModelBound)
+{
+    // VI-B1: resource predictions within ~5% of synthesis across
+    // p <= 32, ell <= 256 (our structural estimator: within 6%).
+    const auto costs = model::costs32();
+    double worst = 0.0;
+    for (unsigned p = 1; p <= 32; p *= 2) {
+        for (unsigned ell = 4; ell <= 256; ell *= 2) {
+            const auto shape = amt::makeTreeShape(p, ell);
+            const double synth = static_cast<double>(
+                amt::treeStructLut(shape, 32));
+            const double predicted = static_cast<double>(
+                model::predictTreeLut(p, ell, costs));
+            worst = std::max(worst,
+                             std::abs(synth - predicted) / predicted);
+        }
+    }
+    EXPECT_LE(worst, 0.065);
+}
+
+TEST(PaperNumbers, Figure8And9ModelBound)
+{
+    // VI-B2: "All sorting time results are within 10% of those
+    // predicted by our performance model."
+    for (unsigned p : {4u, 8u, 16u, 32u}) {
+        for (unsigned ell : {16u, 64u, 256u}) {
+            for (std::uint64_t bytes : {512 * kMB, 16 * kGB}) {
+                sorter::StageSimulator::Options o;
+                o.config = amt::AmtConfig{p, ell, 1, 1};
+                o.array = {bytes / 4, 4};
+                o.betaDram = core::awsF1().betaDram;
+                const double measured =
+                    sorter::StageSimulator(o).run().totalSeconds;
+                model::BonsaiInputs in;
+                in.array = o.array;
+                in.hw = core::awsF1();
+                const double predicted =
+                    model::latencyEstimate(
+                        in, amt::AmtConfig{p, ell, 1, 1})
+                        .latencySeconds;
+                EXPECT_NEAR(measured, predicted, 0.10 * predicted)
+                    << "p=" << p << " ell=" << ell
+                    << " bytes=" << bytes;
+            }
+        }
+    }
+}
+
+TEST(PaperNumbers, TableIvTotalsWithinTolerance)
+{
+    model::BonsaiInputs in;
+    in.array = {4ULL * kGB / 4, 4};
+    in.hw = core::awsF1();
+    const auto est =
+        model::predictResources(in, amt::AmtConfig{32, 64, 1, 1});
+    EXPECT_NEAR(static_cast<double>(est.totalLut()), 287672.0,
+                0.02 * 287672.0);
+    EXPECT_NEAR(static_cast<double>(est.totalFf()), 768906.0,
+                0.02 * 768906.0);
+    EXPECT_EQ(est.bramBlocks, 960u);
+}
+
+TEST(PaperNumbers, TableVBreakdown)
+{
+    // Table V shape: two ~equal phases + 4.3 s reprogram, ~4 GB/s.
+    const auto plan = core::planSsdSort({2 * kTB / 4, 4},
+                                        core::awsF1(), {},
+                                        core::SsdParams{});
+    ASSERT_TRUE(plan);
+    EXPECT_NEAR(plan->phase1Seconds, plan->phase2Seconds, 1.0);
+    EXPECT_NEAR(plan->totalSeconds(), 504.3, 1.0);
+    EXPECT_NEAR(2e12 / plan->totalSeconds() / 1e9, 4.0, 0.05);
+}
+
+TEST(PaperNumbers, SeventeenXClaim)
+{
+    // VI-E: "17.3x lower latency on sorting 1 TB ... compared to the
+    // best previous single server node terabyte-scale sorter".
+    const auto plan = core::planSsdSort({1 * kTB / 4, 4},
+                                        core::awsF1(), {},
+                                        core::SsdParams{});
+    ASSERT_TRUE(plan);
+    const double ours_ms_per_gb = plan->totalSeconds() * 1e3 / 1000.0;
+    const double theirs =
+        *baseline::publishedMsPerGb("TerabyteSort [29]", 2 * kTB);
+    EXPECT_NEAR(theirs / ours_ms_per_gb, 17.3, 0.5);
+}
+
+TEST(PaperNumbers, Figure13StepRatios)
+{
+    core::ScalabilityParams params;
+    const double r1 = core::scalabilityAt(params, 2 * kGB).msPerGb /
+        core::scalabilityAt(params, 1 * kGB).msPerGb;
+    EXPECT_NEAR(r1, 4.0 / 3.0, 1e-9); // "1.33x performance penalty"
+    const double r3 = core::scalabilityAt(params, 32 * kTB).msPerGb /
+        core::scalabilityAt(params, 16 * kTB).msPerGb;
+    EXPECT_NEAR(r3, 1.5, 1e-9); // "1.5x performance penalty"
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Wide-record path tests (Section II: any key/value width up to 512
+ * bits without overhead; wider via bit-serial comparators, charged a
+ * serialization factor by the model).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/checks.hpp"
+#include "common/random.hpp"
+#include "core/optimizer.hpp"
+#include "core/platforms.hpp"
+#include "hw/merger.hpp"
+#include "model/perf_model.hpp"
+#include "sim/engine.hpp"
+#include "sorter/behavioral.hpp"
+#include "sorter/sim_sorter.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+using Wide = WideRecord<8>; // 512-bit key + 64-bit value
+
+std::vector<Wide>
+makeWide(std::size_t n, std::uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    std::vector<Wide> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (unsigned w = 0; w < 8; ++w)
+            out[i].key[w] = rng.next();
+        out[i].key[7] |= 1; // never terminal
+        out[i].value = i;
+    }
+    return out;
+}
+
+TEST(WideRecord, OrderingIsLexicographic)
+{
+    Wide a, b;
+    a.key = {1, 0, 0, 0, 0, 0, 0, 5};
+    b.key = {1, 0, 0, 0, 0, 0, 0, 6};
+    EXPECT_TRUE(a < b);
+    b.key[0] = 0;
+    EXPECT_TRUE(b < a); // most-significant word dominates
+    EXPECT_TRUE(a <= a);
+    EXPECT_FALSE(a < a);
+}
+
+TEST(WideRecord, TerminalDetection)
+{
+    EXPECT_TRUE(Wide::terminal().isTerminal());
+    Wide w;
+    w.key[3] = 1;
+    EXPECT_FALSE(w.isTerminal());
+    w.key[3] = 0;
+    w.value = 1;
+    EXPECT_FALSE(w.isTerminal());
+}
+
+TEST(WideRecord, MergerHandles512BitKeys)
+{
+    auto run_a = makeWide(37, 1);
+    auto run_b = makeWide(49, 2);
+    std::sort(run_a.begin(), run_a.end());
+    std::sort(run_b.begin(), run_b.end());
+    sim::Fifo<Wide> in_a(64), in_b(64), out(32);
+    hw::Merger<Wide> merger("m", 4, in_a, in_b, out);
+    for (const Wide &r : run_a)
+        in_a.push(r);
+    in_a.push(Wide::terminal());
+    for (const Wide &r : run_b)
+        in_b.push(r);
+    in_b.push(Wide::terminal());
+
+    std::vector<Wide> expect;
+    std::merge(run_a.begin(), run_a.end(), run_b.begin(), run_b.end(),
+               std::back_inserter(expect));
+    std::vector<Wide> got;
+    sim::SimEngine engine;
+    engine.add(&merger);
+    const auto result = engine.run(
+        [&] {
+            while (!out.empty()) {
+                const Wide r = out.pop();
+                if (!r.isTerminal())
+                    got.push_back(r);
+            }
+            return got.size() >= expect.size();
+        },
+        10000);
+    ASSERT_TRUE(result.finished);
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(got[i], expect[i]);
+}
+
+TEST(WideRecord, FullSimSortEndToEnd)
+{
+    auto data = makeWide(5000, 3);
+    auto expect = data;
+    std::sort(expect.begin(), expect.end());
+    sorter::SimSorter<Wide>::Options o;
+    o.config = amt::AmtConfig{4, 8, 1, 1};
+    o.recordBytes = 72; // 512-bit key + 64-bit value
+    o.batchBytes = 72 * 16;
+    sorter::SimSorter<Wide> sim(o);
+    ASSERT_TRUE(sim.sort(data).completed);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(data[i], expect[i]);
+}
+
+TEST(WideRecord, BehavioralSortWorks)
+{
+    auto data = makeWide(20'000, 4);
+    sorter::BehavioralSorter<Wide> sorter(16, 16);
+    sorter.sort(data);
+    EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+TEST(SerialFactor, Below512BitsIsFree)
+{
+    EXPECT_EQ(model::serialFactor(4, 512), 1u);
+    EXPECT_EQ(model::serialFactor(16, 512), 1u);
+    EXPECT_EQ(model::serialFactor(64, 512), 1u); // exactly 512 bits
+}
+
+TEST(SerialFactor, WideRecordsSerialize)
+{
+    EXPECT_EQ(model::serialFactor(65, 512), 2u);
+    EXPECT_EQ(model::serialFactor(128, 512), 2u);  // 1024 bits
+    EXPECT_EQ(model::serialFactor(256, 512), 4u);  // 2048 bits
+}
+
+TEST(SerialFactor, ModelChargesWideRecords)
+{
+    // 128-byte records: serialization factor 2 halves tree throughput.
+    model::MergerArchParams arch;
+    EXPECT_DOUBLE_EQ(
+        model::effectiveTreeThroughput(8, arch, 64),
+        8.0 * 250e6 * 64);
+    EXPECT_DOUBLE_EQ(
+        model::effectiveTreeThroughput(8, arch, 128),
+        8.0 * 250e6 * 128 / 2.0);
+}
+
+TEST(SerialFactor, OptimizerStillFindsConfigsForHugeRecords)
+{
+    // 128-byte (1024-bit) records on the F1: feasible, and the chosen
+    // p must compensate for the serialization factor to saturate the
+    // 32 GB/s DRAM (p * f * r / 2 >= beta).
+    model::BonsaiInputs in;
+    in.array = {16ULL * kGB / 128, 128};
+    in.hw = core::awsF1();
+    core::Optimizer opt(in);
+    const auto best = opt.best(core::Objective::Latency);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_GE(model::effectiveTreeThroughput(best->config.p, in.arch,
+                                             128),
+              in.hw.betaDram);
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,80 @@
+/** @file Tests for the non-pipelined per-request bank turnaround
+ *  (the term that makes 1-4 KB batching matter, Section II). */
+
+#include <gtest/gtest.h>
+
+#include "mem/timing.hpp"
+#include "sim/engine.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+mem::MemTimingConfig
+config(std::uint64_t overhead)
+{
+    mem::MemTimingConfig cfg;
+    cfg.numBanks = 1;
+    cfg.bankBytesPerCycle = 32.0;
+    cfg.requestLatency = 0;
+    cfg.requestOverhead = overhead;
+    return cfg;
+}
+
+sim::Cycle
+timeRequests(const mem::MemTimingConfig &cfg, unsigned count,
+             std::uint64_t bytes)
+{
+    mem::MemoryTiming memory("m", cfg);
+    std::vector<mem::MemoryTiming::Ticket> tickets;
+    for (unsigned i = 0; i < count; ++i)
+        tickets.push_back(memory.requestRead(i * bytes, bytes));
+    sim::SimEngine engine;
+    engine.add(&memory);
+    const auto result = engine.run(
+        [&] {
+            for (auto t : tickets) {
+                if (!memory.complete(t))
+                    return false;
+            }
+            return true;
+        },
+        1'000'000);
+    EXPECT_TRUE(result.finished);
+    return result.cycles;
+}
+
+TEST(MemoryTimingOverhead, ChargedOncePerRequest)
+{
+    // 8 requests of 256 B at 32 B/cycle: 8 cycles transfer each.
+    const sim::Cycle no_overhead = timeRequests(config(0), 8, 256);
+    const sim::Cycle with_overhead = timeRequests(config(4), 8, 256);
+    EXPECT_GE(with_overhead, no_overhead + 8 * 4);
+    EXPECT_LE(with_overhead, no_overhead + 8 * 4 + 4);
+}
+
+TEST(MemoryTimingOverhead, LargeBatchesAmortize)
+{
+    // Same total bytes, different request granularity: small requests
+    // pay proportionally more turnaround.
+    const std::uint64_t total = 16384;
+    const sim::Cycle coarse = timeRequests(config(8), 4, total / 4);
+    const sim::Cycle fine = timeRequests(config(8), 64, total / 64);
+    EXPECT_GT(fine, coarse + 8 * 50);
+    // Bandwidth loss ratio roughly (transfer+overhead)/transfer.
+    const double fine_ideal = total / 32.0 + 64 * 8;
+    EXPECT_NEAR(static_cast<double>(fine), fine_ideal,
+                0.05 * fine_ideal);
+}
+
+TEST(MemoryTimingOverhead, ZeroOverheadBackToBackIsSeamless)
+{
+    const std::uint64_t total = 8192;
+    const sim::Cycle t = timeRequests(config(0), 32, total / 32);
+    EXPECT_NEAR(static_cast<double>(t), total / 32.0,
+                0.05 * total / 32.0);
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,66 @@
+/** @file Unit tests for the Table VI cost tables. */
+
+#include <gtest/gtest.h>
+
+#include "model/merger_costs.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(MergerCosts, Table6aValues)
+{
+    const auto c = model::costs32();
+    EXPECT_EQ(c.mergerLut(1), 300u);
+    EXPECT_EQ(c.mergerLut(2), 622u);
+    EXPECT_EQ(c.mergerLut(4), 1555u);
+    EXPECT_EQ(c.mergerLut(8), 3620u);
+    EXPECT_EQ(c.mergerLut(16), 8500u);
+    EXPECT_EQ(c.mergerLut(32), 18853u);
+    EXPECT_EQ(c.couplerLut(2), 142u);
+    EXPECT_EQ(c.couplerLut(32), 2079u);
+    EXPECT_EQ(c.couplerLut(1), 50u); // FIFO
+}
+
+TEST(MergerCosts, Table6bValues)
+{
+    const auto c = model::costs128();
+    EXPECT_EQ(c.mergerLut(1), 1016u);
+    EXPECT_EQ(c.mergerLut(32), 77732u);
+    EXPECT_EQ(c.couplerLut(16), 4142u);
+    EXPECT_EQ(c.fifo, 134u);
+}
+
+TEST(MergerCosts, WiderRecordsAreCheaperPerThroughput)
+{
+    // Paper VI-F: a 128-bit 4-merger (16 GB/s) uses ~50% fewer LUTs
+    // than a 32-bit 16-merger (16 GB/s).
+    const auto narrow = model::costs32();
+    const auto wide = model::costs128();
+    EXPECT_LT(wide.mergerLut(4), narrow.mergerLut(16));
+    EXPECT_LT(static_cast<double>(wide.mergerLut(4)),
+              0.75 * static_cast<double>(narrow.mergerLut(16)));
+}
+
+TEST(MergerCosts, CalibrationTablesReturnedExactly)
+{
+    EXPECT_EQ(model::costsForWidth(32).mergerLut(8), 3620u);
+    EXPECT_EQ(model::costsForWidth(128).mergerLut(8), 13051u);
+}
+
+TEST(MergerCosts, InterpolatedWidthIsMonotonic)
+{
+    const auto c64 = model::costsForWidth(64);
+    const auto c32 = model::costsForWidth(32);
+    const auto c128 = model::costsForWidth(128);
+    for (unsigned k = 1; k <= 32; k *= 2) {
+        EXPECT_GT(c64.mergerLut(k), c32.mergerLut(k));
+        EXPECT_LT(c64.mergerLut(k), c128.mergerLut(k));
+    }
+    EXPECT_GT(c64.couplerLut(8), c32.couplerLut(8));
+    EXPECT_GT(c64.fifo, c32.fifo);
+}
+
+} // namespace
+} // namespace bonsai

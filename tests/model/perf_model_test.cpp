@@ -1,0 +1,149 @@
+/** @file Unit tests for the performance model (Equations 1-7). */
+
+#include <gtest/gtest.h>
+
+#include "core/platforms.hpp"
+#include "model/perf_model.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+model::BonsaiInputs
+f1Inputs(std::uint64_t bytes, std::uint64_t record_bytes = 4)
+{
+    model::BonsaiInputs in;
+    in.array = {bytes / record_bytes, record_bytes};
+    in.hw = core::awsF1();
+    return in;
+}
+
+TEST(MergeStages, BasicLogEll)
+{
+    EXPECT_EQ(model::mergeStages(256, 2, 1), 8u);
+    EXPECT_EQ(model::mergeStages(256, 4, 1), 4u);
+    EXPECT_EQ(model::mergeStages(256, 16, 1), 2u);
+    EXPECT_EQ(model::mergeStages(257, 16, 1), 3u); // ceil
+    EXPECT_EQ(model::mergeStages(1, 16, 1), 0u);
+    EXPECT_EQ(model::mergeStages(0, 16, 1), 0u);
+}
+
+TEST(MergeStages, PresortedRunsReduceStages)
+{
+    // 4096 records: log_16(4096) = 3 stages from run length 1,
+    // but only 2 from presorted 16-record runs.
+    EXPECT_EQ(model::mergeStages(4096, 16, 1), 3u);
+    EXPECT_EQ(model::mergeStages(4096, 16, 16), 2u);
+    EXPECT_EQ(model::mergeStages(16, 16, 16), 0u);
+}
+
+TEST(MergeStages, TerabyteScaleNoOverflow)
+{
+    // 2 TB of 4-byte records = 5e11 records; log_256(...) small.
+    const std::uint64_t n = 500'000'000'000ULL;
+    EXPECT_EQ(model::mergeStages(n, 256, 16), 5u);
+    EXPECT_GT(model::mergeStages(n, 2, 1), 30u);
+}
+
+TEST(TreeThroughput, MatchesPaperNumbers)
+{
+    // p=32 at 250 MHz on 32-bit records = exactly 32 GB/s (IV-A).
+    EXPECT_DOUBLE_EQ(model::treeThroughput(32, 250e6, 4), 32e9);
+    EXPECT_DOUBLE_EQ(model::treeThroughput(8, 250e6, 4), 8e9);
+    // 128-bit records: 4-merger = 16 GB/s (Table VI(b)).
+    EXPECT_DOUBLE_EQ(model::treeThroughput(4, 250e6, 16), 16e9);
+}
+
+TEST(LatencyEstimate, BandwidthBoundStageTime)
+{
+    // 16 GB with AMT(32, 256): 4 stages at 32 GB/s = 2.0 s.
+    model::BonsaiInputs in = f1Inputs(16 * kGB);
+    const auto est =
+        model::latencyEstimate(in, amt::AmtConfig{32, 256, 1, 1});
+    EXPECT_EQ(est.stages, 4u);
+    EXPECT_NEAR(est.stageSeconds, 0.5, 1e-9);
+    EXPECT_NEAR(est.latencySeconds, 2.0, 1e-9);
+}
+
+TEST(LatencyEstimate, ComputeBoundWhenPSmall)
+{
+    // p=4 -> 4 GB/s < beta: stage time = bytes / (p f r).
+    model::BonsaiInputs in = f1Inputs(8 * kGB);
+    const auto est =
+        model::latencyEstimate(in, amt::AmtConfig{4, 256, 1, 1});
+    EXPECT_NEAR(est.stageSeconds, 2.0, 1e-9);
+}
+
+TEST(LatencyEstimate, UnrollingSharesBandwidth)
+{
+    // 2 trees: per-tree bandwidth 16 GB/s, each sorts half the data;
+    // stage time unchanged, stage count may shrink.
+    model::BonsaiInputs in = f1Inputs(16 * kGB);
+    const auto single =
+        model::latencyEstimate(in, amt::AmtConfig{32, 256, 1, 1});
+    const auto dual =
+        model::latencyEstimate(in, amt::AmtConfig{32, 256, 2, 1});
+    EXPECT_NEAR(dual.stageSeconds, single.stageSeconds, 1e-9);
+    EXPECT_LE(dual.stages, single.stages);
+}
+
+TEST(LatencyEstimate, ExtraStageAtTwoGb)
+{
+    // Figure 13's first step: AMT(32,256) needs 3 stages at 1 GB and
+    // 4 at 2 GB (16-record presort).
+    const auto at_1gb = model::latencyEstimate(
+        f1Inputs(1 * kGB), amt::AmtConfig{32, 256, 1, 1});
+    const auto at_2gb = model::latencyEstimate(
+        f1Inputs(2 * kGB), amt::AmtConfig{32, 256, 1, 1});
+    EXPECT_EQ(at_1gb.stages, 3u);
+    EXPECT_EQ(at_2gb.stages, 4u);
+    EXPECT_NEAR(at_2gb.latencySeconds / 2 / (at_1gb.latencySeconds),
+                4.0 / 3.0, 1e-9);
+}
+
+TEST(PipelineEstimate, PaperPhaseOneConfig)
+{
+    // 4-deep pipeline of AMT(8, 64) on F1: throughput =
+    // min(8 GB/s, 32/4 GB/s, 8 GB/s) = 8 GB/s (Section IV-C).
+    model::BonsaiInputs in = f1Inputs(8 * kGB);
+    const auto est =
+        model::pipelineEstimate(in, amt::AmtConfig{8, 64, 1, 4});
+    EXPECT_DOUBLE_EQ(est.throughputBytesPerSec, 8e9);
+    EXPECT_NEAR(est.latencySeconds, 4.0, 1e-9);
+}
+
+TEST(PipelineEstimate, PipeliningDividesDramBandwidth)
+{
+    model::BonsaiInputs in = f1Inputs(8 * kGB);
+    // 8-deep pipeline: DRAM share 4 GB/s binds below the I/O's 8.
+    const auto est =
+        model::pipelineEstimate(in, amt::AmtConfig{8, 64, 1, 8});
+    EXPECT_DOUBLE_EQ(est.throughputBytesPerSec, 4e9);
+}
+
+TEST(PipelineCapacity, Equation5)
+{
+    model::BonsaiInputs in = f1Inputs(8 * kGB);
+    in.arch.presortRunLength = 256;
+    // lambda_pipe = 4 of AMT(8, 64): min(64GB/4 / 4B, 256 * 64^4).
+    const std::uint64_t cap = model::pipelineCapacityRecords(
+        in, amt::AmtConfig{8, 64, 1, 4});
+    EXPECT_EQ(cap, std::min<std::uint64_t>(
+                       64 * kGB / (4 * 4),
+                       256ULL * 64 * 64 * 64 * 64));
+    // The paper's 8 GB chunk (2G records) must fit.
+    EXPECT_GE(cap, 2'000'000'000ULL);
+}
+
+TEST(PipelineCapacity, StageLimitBindsForShallowPipelines)
+{
+    model::BonsaiInputs in = f1Inputs(8 * kGB);
+    in.arch.presortRunLength = 16;
+    const std::uint64_t cap = model::pipelineCapacityRecords(
+        in, amt::AmtConfig{8, 16, 1, 2});
+    EXPECT_EQ(cap, 16ULL * 16 * 16); // ell^2 * presort
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,122 @@
+/** @file Unit tests for the resource model (Equations 8-10). */
+
+#include <gtest/gtest.h>
+
+#include "core/platforms.hpp"
+#include "model/resource_model.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+model::BonsaiInputs
+f1Inputs()
+{
+    model::BonsaiInputs in;
+    in.array = {4ULL * kGB / 4, 4};
+    in.hw = core::awsF1();
+    return in;
+}
+
+TEST(PredictTreeLut, Equation8HandComputed)
+{
+    // AMT(32, 64) with Table VI 32-bit costs, level by level:
+    // n=0: m32 + 2 c32 = 18853 + 4158          = 23011
+    // n=1: 2 (m16 + 2 c16) = 2 (8500 + 2094)   = 21188
+    // n=2: 4 (m8 + 2 c8) = 4 (3620 + 1060)     = 18720
+    // n=3: 8 (m4 + 2 c4) = 8 (1555 + 546)      = 16808
+    // n=4: 16 (m2 + 2 c2) = 16 (622 + 284)     = 14496
+    // n=5: 32 (m1 + 2 fifo) = 32 (300 + 100)   = 12800
+    const std::uint64_t lut =
+        model::predictTreeLut(32, 64, model::costs32());
+    EXPECT_EQ(lut, 23011u + 21188 + 18720 + 16808 + 14496 + 12800);
+}
+
+TEST(PredictTreeLut, CloseToPaperTableIv)
+{
+    // Paper Table IV reports 102,158 synthesized LUTs for the
+    // AMT(32,64) merge tree; Equation 8 should land within ~7%.
+    const std::uint64_t lut =
+        model::predictTreeLut(32, 64, model::costs32());
+    EXPECT_NEAR(static_cast<double>(lut), 102158.0, 0.07 * 102158.0);
+}
+
+TEST(PredictTreeLut, MonotonicInPAndEll)
+{
+    const auto costs = model::costs32();
+    EXPECT_LT(model::predictTreeLut(8, 64, costs),
+              model::predictTreeLut(16, 64, costs));
+    EXPECT_LT(model::predictTreeLut(16, 32, costs),
+              model::predictTreeLut(16, 64, costs));
+}
+
+TEST(PredictResources, TableIvBreakdownShape)
+{
+    // The full DRAM sorter (AMT(32,64) + presorter + loader) uses
+    // about 288k LUTs / 769k FFs / 960 BRAM on the F1 (Table IV).
+    model::BonsaiInputs in = f1Inputs();
+    const auto est =
+        model::predictResources(in, amt::AmtConfig{32, 64, 1, 1});
+    EXPECT_NEAR(static_cast<double>(est.totalLut()), 287672.0,
+                0.10 * 287672.0);
+    EXPECT_NEAR(static_cast<double>(est.totalFf()), 768906.0,
+                0.10 * 768906.0);
+    EXPECT_EQ(est.bramBlocks, 960u);
+    EXPECT_NEAR(static_cast<double>(est.presorterLut), 75412.0,
+                0.02 * 75412.0);
+    EXPECT_NEAR(static_cast<double>(est.dataLoaderLut), 110102.0,
+                0.02 * 110102.0);
+}
+
+TEST(Fits, PaperFeasibilityWall)
+{
+    // On the F1, AMT(32, 256) fits (the model optimum) but ell = 512
+    // does not — "ell cannot be made larger than 256".
+    model::BonsaiInputs in = f1Inputs();
+    EXPECT_TRUE(model::fits(in, amt::AmtConfig{32, 256, 1, 1}));
+    EXPECT_FALSE(model::fits(in, amt::AmtConfig{32, 512, 1, 1}));
+}
+
+TEST(Fits, UnrollingMultipliesCost)
+{
+    model::BonsaiInputs in = f1Inputs();
+    // 16 unrolled AMT(32, 2) fit only without per-tree presorters
+    // (16 presorters alone would exceed the chip).
+    EXPECT_TRUE(model::fits(in, amt::AmtConfig{32, 2, 16, 1}, false));
+    EXPECT_FALSE(model::fits(in, amt::AmtConfig{32, 2, 16, 1}, true));
+    EXPECT_FALSE(model::fits(in, amt::AmtConfig{32, 64, 16, 1}, false));
+}
+
+TEST(FeasibleBatchBytes, ShrinksWithEll)
+{
+    model::BonsaiInputs in = f1Inputs();
+    EXPECT_EQ(model::feasibleBatchBytes(in, amt::AmtConfig{32, 64, 1, 1}),
+              4096u);
+    // ell = 256 only fits with a reduced batch.
+    const std::uint64_t b256 =
+        model::feasibleBatchBytes(in, amt::AmtConfig{32, 256, 1, 1});
+    EXPECT_GT(b256, 0u);
+    EXPECT_LT(b256, 4096u);
+}
+
+TEST(BramBlocks, TableIvCalibration)
+{
+    EXPECT_EQ(amt::dataLoaderBramBlocks(64, 4096), 960u);
+    EXPECT_EQ(amt::dataLoaderBramBlocks(64, 1024), 64u * 4);
+}
+
+TEST(ResourceEstimate, ScalesLinearlyWithTreeCount)
+{
+    model::BonsaiInputs in = f1Inputs();
+    const auto one =
+        model::predictResources(in, amt::AmtConfig{8, 16, 1, 1});
+    const auto four =
+        model::predictResources(in, amt::AmtConfig{8, 16, 4, 1});
+    EXPECT_EQ(four.treeLut, 4 * one.treeLut);
+    EXPECT_EQ(four.dataLoaderLut, 4 * one.dataLoaderLut);
+    EXPECT_EQ(four.bramBlocks, 4 * one.bramBlocks);
+}
+
+} // namespace
+} // namespace bonsai

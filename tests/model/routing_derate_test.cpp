@@ -1,0 +1,79 @@
+/** @file Tests for the routing-congestion frequency derate
+ *  (Section VI-C1: why the as-built DRAM sorter uses ell = 64). */
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "core/platforms.hpp"
+#include "model/perf_model.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(RoutingDerate, IdentityWhenDisabled)
+{
+    model::MergerArchParams arch;
+    EXPECT_DOUBLE_EQ(model::effectiveFrequency(arch, 256), 250e6);
+    EXPECT_DOUBLE_EQ(model::effectiveFrequency(arch, 2), 250e6);
+}
+
+TEST(RoutingDerate, FreeRegionAndDecay)
+{
+    model::MergerArchParams arch;
+    arch.routingDerate = true;
+    EXPECT_DOUBLE_EQ(model::effectiveFrequency(arch, 64), 250e6);
+    const double f128 = model::effectiveFrequency(arch, 128);
+    const double f256 = model::effectiveFrequency(arch, 256);
+    EXPECT_NEAR(f128, 250e6 / 1.30, 1.0);
+    EXPECT_NEAR(f256, 250e6 / (1.30 * 1.30), 1.0);
+    EXPECT_LT(f128, 200e6); // below the 4-vs-5-stage break-even
+    EXPECT_LT(f256, 200e6); // below the 4-vs-5-stage break-even
+}
+
+TEST(RoutingDerate, OptimizerReproducesAsBuiltEll64)
+{
+    // Without the derate Bonsai picks the model-optimal AMT(32, 256);
+    // with it, the extra stage at 250 MHz beats 4 stages at ~189 MHz
+    // and the paper's implemented AMT(32, 64) wins (Section VI-C1:
+    // "We limit ell to 64 because designs with more leaves have lower
+    // frequency due to FPGA routing congestion").
+    model::BonsaiInputs in;
+    in.array = {16ULL * kGB / 4, 4};
+    in.hw = core::awsF1();
+    // The paper's DRAM sorter is a single AMT (Figure 2); unrolled
+    // alternatives near 100% LUT would be unroutable in practice.
+    core::SearchSpace single_tree;
+    single_tree.maxUnroll = 1;
+
+    core::Optimizer plain(in, single_tree);
+    const auto ideal = plain.best(core::Objective::Latency);
+    ASSERT_TRUE(ideal.has_value());
+    EXPECT_EQ(ideal->config.ell, 256u);
+
+    in.arch.routingDerate = true;
+    core::Optimizer derated(in, single_tree);
+    const auto built = derated.best(core::Objective::Latency);
+    ASSERT_TRUE(built.has_value());
+    EXPECT_EQ(built->config.p, 32u);
+    EXPECT_EQ(built->config.ell, 64u);
+}
+
+TEST(RoutingDerate, DeratedLatencyMatchesTable1Row)
+{
+    // The as-built sorter's 5 stages at full clock: at the measured
+    // 29 GB/s this is Table I's 172 ms/GB (see scalability tests);
+    // here at nominal 32 GB/s it is 156 ms/GB.
+    model::BonsaiInputs in;
+    in.array = {16ULL * kGB / 4, 4};
+    in.hw = core::awsF1();
+    in.arch.routingDerate = true;
+    const auto est = model::latencyEstimate(
+        in, amt::AmtConfig{32, 64, 1, 1});
+    EXPECT_EQ(est.stages, 5u);
+    EXPECT_NEAR(toMs(est.latencySeconds) / 16.0, 156.25, 0.1);
+}
+
+} // namespace
+} // namespace bonsai

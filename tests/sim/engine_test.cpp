@@ -1,0 +1,99 @@
+/** @file Unit tests for the cycle-driven engine. */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+/** Counts its own ticks. */
+class TickCounter : public sim::Component
+{
+  public:
+    TickCounter() : Component("counter") {}
+
+    void tick(sim::Cycle) override { ++ticks; }
+
+    sim::Cycle ticks = 0;
+};
+
+/** Records the cycle number of each tick to verify monotonic time. */
+class CycleRecorder : public sim::Component
+{
+  public:
+    CycleRecorder() : Component("recorder") {}
+
+    void
+    tick(sim::Cycle now) override
+    {
+        cycles.push_back(now);
+    }
+
+    std::vector<sim::Cycle> cycles;
+};
+
+TEST(SimEngine, RunsUntilPredicate)
+{
+    sim::SimEngine engine;
+    TickCounter counter;
+    engine.add(&counter);
+    const auto result =
+        engine.run([&] { return counter.ticks >= 10; }, 1000);
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.cycles, 10u);
+    EXPECT_EQ(counter.ticks, 10u);
+    EXPECT_EQ(engine.now(), 10u);
+}
+
+TEST(SimEngine, BudgetExceededReportsUnfinished)
+{
+    sim::SimEngine engine;
+    TickCounter counter;
+    engine.add(&counter);
+    const auto result = engine.run([] { return false; }, 25);
+    EXPECT_FALSE(result.finished);
+    EXPECT_EQ(result.cycles, 25u);
+}
+
+TEST(SimEngine, TimeIsMonotonicAcrossRuns)
+{
+    sim::SimEngine engine;
+    CycleRecorder rec;
+    engine.add(&rec);
+    engine.run([&] { return rec.cycles.size() >= 3; }, 100);
+    engine.run([&] { return rec.cycles.size() >= 6; }, 100);
+    ASSERT_EQ(rec.cycles.size(), 6u);
+    for (std::size_t i = 0; i < rec.cycles.size(); ++i)
+        EXPECT_EQ(rec.cycles[i], i);
+}
+
+TEST(SimEngine, ComponentsTickInRegistrationOrder)
+{
+    sim::SimEngine engine;
+    std::vector<int> order;
+    class Probe : public sim::Component
+    {
+      public:
+        Probe(std::vector<int> &order, int id)
+            : Component("probe"), order_(order), id_(id)
+        {
+        }
+        void tick(sim::Cycle) override { order_.push_back(id_); }
+
+      private:
+        std::vector<int> &order_;
+        int id_;
+    };
+    Probe a(order, 1), b(order, 2), c(order, 3);
+    engine.add(&a);
+    engine.add(&b);
+    engine.add(&c);
+    engine.run([] { return true; }, 10);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+} // namespace
+} // namespace bonsai

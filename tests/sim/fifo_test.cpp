@@ -1,0 +1,80 @@
+/** @file Unit tests for the bounded FIFO channel. */
+
+#include <gtest/gtest.h>
+
+#include "common/record.hpp"
+#include "sim/fifo.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(Fifo, StartsEmpty)
+{
+    sim::Fifo<int> f(4);
+    EXPECT_TRUE(f.empty());
+    EXPECT_FALSE(f.full());
+    EXPECT_EQ(f.size(), 0u);
+    EXPECT_EQ(f.freeSpace(), 4u);
+    EXPECT_EQ(f.capacity(), 4u);
+}
+
+TEST(Fifo, FifoOrdering)
+{
+    sim::Fifo<int> f(8);
+    for (int i = 0; i < 5; ++i)
+        f.push(i);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(f.pop(), i);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, FullAtCapacity)
+{
+    sim::Fifo<int> f(2);
+    f.push(1);
+    EXPECT_FALSE(f.full());
+    f.push(2);
+    EXPECT_TRUE(f.full());
+    EXPECT_EQ(f.freeSpace(), 0u);
+}
+
+TEST(Fifo, PeekDoesNotConsume)
+{
+    sim::Fifo<int> f(4);
+    f.push(10);
+    f.push(20);
+    f.push(30);
+    EXPECT_EQ(f.peek(0), 10);
+    EXPECT_EQ(f.peek(1), 20);
+    EXPECT_EQ(f.peek(2), 30);
+    EXPECT_EQ(f.front(), 10);
+    EXPECT_EQ(f.size(), 3u);
+}
+
+TEST(Fifo, InterleavedPushPop)
+{
+    sim::Fifo<int> f(3);
+    int next_in = 0;
+    int next_out = 0;
+    for (int round = 0; round < 50; ++round) {
+        while (!f.full())
+            f.push(next_in++);
+        f.pop();
+        EXPECT_EQ(f.front(), ++next_out);
+    }
+}
+
+TEST(Fifo, HoldsRecords)
+{
+    sim::Fifo<Record> f(2);
+    f.push(Record{5, 6});
+    f.push(Record::terminal());
+    EXPECT_FALSE(f.front().isTerminal());
+    f.pop();
+    EXPECT_TRUE(f.front().isTerminal());
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,147 @@
+/** @file Cycle-level tests for the pipelined AMT configuration
+ *  (Figure 4 / Section III-A3). */
+
+#include <gtest/gtest.h>
+
+#include "common/checks.hpp"
+#include "common/random.hpp"
+#include "model/perf_model.hpp"
+#include "sorter/pipeline_sim.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+sorter::PipelineSimSorter<Record>::Options
+options(unsigned p, unsigned ell, unsigned pipe,
+        double io_bytes_per_cycle)
+{
+    sorter::PipelineSimSorter<Record>::Options o;
+    o.config = amt::AmtConfig{p, ell, 1, pipe};
+    o.dram.numBanks = 4;
+    o.dram.bankBytesPerCycle = 32.0;
+    o.io.numBanks = 1;
+    o.io.bankBytesPerCycle = io_bytes_per_cycle;
+    o.batchBytes = 1024;
+    o.presortRun = 16;
+    return o;
+}
+
+std::vector<std::vector<Record>>
+makeChunks(std::size_t count, std::size_t n)
+{
+    std::vector<std::vector<Record>> chunks;
+    for (std::size_t c = 0; c < count; ++c) {
+        chunks.push_back(
+            makeRecords(n, Distribution::UniformRandom, 600 + c));
+    }
+    return chunks;
+}
+
+TEST(PipelineSim, SortsEveryChunk)
+{
+    auto chunks = makeChunks(5, 8000);
+    std::vector<Fingerprint> before;
+    for (const auto &chunk : chunks)
+        before.push_back(fingerprint(std::span<const Record>(chunk)));
+    // 8000 records: runs = 500, ell = 8: 8^3 = 512 >= 500 -> 3 stages.
+    sorter::PipelineSimSorter<Record> sim(options(4, 8, 3, 16.0));
+    const auto stats = sim.sortChunks(chunks);
+    ASSERT_TRUE(stats.completed);
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+        EXPECT_TRUE(isSorted(std::span<const Record>(chunks[c])))
+            << "chunk " << c;
+        EXPECT_EQ(before[c],
+                  fingerprint(std::span<const Record>(chunks[c])));
+    }
+    EXPECT_EQ(stats.slots, 5u + 3 - 1);
+}
+
+TEST(PipelineSim, SingleChunkSingleStage)
+{
+    auto chunks = makeChunks(1, 100);
+    // 100 records, runs = 7, ell = 8: one stage suffices.
+    sorter::PipelineSimSorter<Record> sim(options(4, 8, 1, 16.0));
+    const auto stats = sim.sortChunks(chunks);
+    ASSERT_TRUE(stats.completed);
+    EXPECT_TRUE(isSorted(std::span<const Record>(chunks[0])));
+}
+
+TEST(PipelineSim, ThroughputMatchesEquation3)
+{
+    // Configuration where the I/O bus binds: p = 4 (16 B/cycle tree),
+    // DRAM share 128 B/cycle over interior stages, I/O 16 B/cycle ->
+    // Equation 3 gives 16 B/cycle sustained.  With enough chunks the
+    // pipeline fill amortizes and measured throughput approaches it.
+    const std::size_t n = 32'000; // runs = 2000, ell = 8: 4 stages
+    auto chunks = makeChunks(8, n);
+    sorter::PipelineSimSorter<Record> sim(options(4, 8, 4, 16.0));
+    const auto stats = sim.sortChunks(chunks);
+    ASSERT_TRUE(stats.completed);
+    const double bytes_per_cycle =
+        static_cast<double>(stats.bytesIn) / stats.totalCycles;
+    // Ideal = 16 B/cycle x (chunks / (chunks + depth - 1)) pipeline
+    // occupancy = 16 * 8/11 = 11.6; allow 15% for flush/fill effects.
+    EXPECT_GT(bytes_per_cycle, 11.6 * 0.85);
+    EXPECT_LT(bytes_per_cycle, 16.5);
+}
+
+TEST(PipelineSim, DramShareBindsWhenPipelineDeep)
+{
+    // Deep pipeline: DRAM share beta/lambda binds below the bus.
+    // dram 128 B/cycle over 6 interior stage-slots ~ 21 B/cycle per
+    // stage; with p = 8 trees (32 B/cycle) and io = 32 B/cycle, the
+    // sustained rate must stay clearly below the 32 B/cycle bus.
+    const std::size_t n = 50'000; // runs=3125, ell=8: needs 4 stages
+    auto chunks = makeChunks(6, n);
+    sorter::PipelineSimSorter<Record> sim(options(8, 8, 4, 32.0));
+    const auto stats = sim.sortChunks(chunks);
+    ASSERT_TRUE(stats.completed);
+    for (const auto &chunk : chunks)
+        EXPECT_TRUE(isSorted(std::span<const Record>(chunk)));
+    const double bytes_per_cycle =
+        static_cast<double>(stats.bytesIn) / stats.totalCycles;
+    EXPECT_LT(bytes_per_cycle, 32.0);
+}
+
+TEST(PipelineSim, ChunksOfUnequalSizes)
+{
+    std::vector<std::vector<Record>> chunks;
+    for (std::size_t n : {100u, 5000u, 17u, 8000u, 1u}) {
+        chunks.push_back(
+            makeRecords(n, Distribution::UniformRandom, n));
+    }
+    sorter::PipelineSimSorter<Record> sim(options(4, 8, 3, 16.0));
+    const auto stats = sim.sortChunks(chunks);
+    ASSERT_TRUE(stats.completed);
+    for (const auto &chunk : chunks)
+        EXPECT_TRUE(isSorted(std::span<const Record>(chunk)));
+}
+
+TEST(PipelineSim, MatchesPaperPhase1Shape)
+{
+    // Scaled-down Figure 4: 4-deep pipeline of AMT(8, 64) with the
+    // I/O bus at 32 B/cycle (8 GB/s at 250 MHz) and 4 DRAM banks.
+    // 4 chunks of 64K records (256 KB each).
+    const std::size_t n = 1 << 16;
+    auto chunks = makeChunks(4, n);
+    auto o = options(8, 64, 4, 32.0);
+    const auto capacity = 16ULL * 64 * 64 * 64 * 64;
+    ASSERT_GE(capacity, n); // Equation 5 satisfied
+    sorter::PipelineSimSorter<Record> sim(o);
+    const auto stats = sim.sortChunks(chunks);
+    ASSERT_TRUE(stats.completed);
+    for (const auto &chunk : chunks)
+        EXPECT_TRUE(isSorted(std::span<const Record>(chunk)));
+    // Sustained rate bounded by the 32 B/cycle bus, and not by much
+    // less once the pipeline is full.
+    const double occupancy = 4.0 / (4 + 4 - 1);
+    const double bytes_per_cycle =
+        static_cast<double>(stats.bytesIn) / stats.totalCycles;
+    EXPECT_GT(bytes_per_cycle, 32.0 * occupancy * 0.75);
+    EXPECT_LT(bytes_per_cycle, 32.5);
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,103 @@
+/** @file Unit tests for the sampling range partitioner. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/checks.hpp"
+#include "common/random.hpp"
+#include "sorter/range_partitioner.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(RangePartitioner, RangesAreDisjointAndOrdered)
+{
+    const auto input =
+        makeRecords(100'000, Distribution::UniformRandom);
+    sorter::RangePartitioner<Record> partitioner(8);
+    const auto part = partitioner.partition(input);
+    ASSERT_EQ(part.offsets.size(), 9u);
+    ASSERT_EQ(part.data.size(), input.size());
+    // Every key in range i must be <= every key in range i+1.
+    for (unsigned r = 0; r + 1 < 8; ++r) {
+        if (part.rangeSize(r) == 0 || part.rangeSize(r + 1) == 0)
+            continue;
+        std::uint64_t max_here = 0;
+        for (std::uint64_t i = part.offsets[r];
+             i < part.offsets[r + 1]; ++i)
+            max_here = std::max(max_here, part.data[i].key);
+        std::uint64_t min_next = ~0ULL;
+        for (std::uint64_t i = part.offsets[r + 1];
+             i < part.offsets[r + 2]; ++i)
+            min_next = std::min(min_next, part.data[i].key);
+        EXPECT_LE(max_here, min_next) << "range " << r;
+    }
+}
+
+TEST(RangePartitioner, PreservesMultiset)
+{
+    const auto input =
+        makeRecords(50'000, Distribution::FewDistinct);
+    sorter::RangePartitioner<Record> partitioner(16);
+    const auto part = partitioner.partition(input);
+    EXPECT_EQ(fingerprint(std::span<const Record>(input)),
+              fingerprint(std::span<const Record>(part.data)));
+}
+
+TEST(RangePartitioner, SkewIsSmallOnUniformKeys)
+{
+    const auto input =
+        makeRecords(200'000, Distribution::UniformRandom);
+    for (unsigned ranges : {2u, 4u, 16u}) {
+        sorter::RangePartitioner<Record> partitioner(ranges);
+        const auto part = partitioner.partition(input);
+        EXPECT_GE(part.skew, 1.0);
+        EXPECT_LE(part.skew, 1.5) << ranges << " ranges";
+    }
+}
+
+TEST(RangePartitioner, SortingRangesSortsWhole)
+{
+    auto input = makeRecords(30'000, Distribution::NearlySorted);
+    sorter::RangePartitioner<Record> partitioner(4);
+    auto part = partitioner.partition(input);
+    for (unsigned r = 0; r < 4; ++r) {
+        std::sort(part.data.begin() + part.offsets[r],
+                  part.data.begin() + part.offsets[r + 1]);
+    }
+    EXPECT_TRUE(isSorted(std::span<const Record>(part.data)));
+}
+
+TEST(RangePartitioner, DegenerateCases)
+{
+    // Single range: identity.
+    const auto input = makeRecords(100, Distribution::UniformRandom);
+    sorter::RangePartitioner<Record> one(1);
+    const auto part1 = one.partition(input);
+    EXPECT_EQ(part1.data, input);
+    EXPECT_DOUBLE_EQ(part1.skew, 1.0);
+
+    // Fewer records than ranges: identity.
+    sorter::RangePartitioner<Record> wide(256);
+    const auto part2 = wide.partition(input);
+    EXPECT_EQ(part2.data, input);
+}
+
+TEST(RangePartitioner, AllEqualKeysCollapseToOneRange)
+{
+    const auto input = makeRecords(10'000, Distribution::AllEqual);
+    sorter::RangePartitioner<Record> partitioner(8);
+    const auto part = partitioner.partition(input);
+    // Everything lands in one range; skew = ranges.
+    std::uint64_t biggest = 0;
+    for (unsigned r = 0; r < 8; ++r)
+        biggest = std::max(biggest, part.rangeSize(r));
+    EXPECT_EQ(biggest, input.size());
+    EXPECT_NEAR(part.skew, 8.0, 1e-9);
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,121 @@
+/** @file Tests for the top-level sorter facades. */
+
+#include <gtest/gtest.h>
+
+#include "bonsai.hpp"
+#include "common/checks.hpp"
+#include "common/gensort.hpp"
+#include "common/random.hpp"
+#include "sorter/sorters.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(DramSorter, SortsAndReportsPaperConfig)
+{
+    auto data = makeRecords(2'000'000, Distribution::UniformRandom);
+    const Fingerprint before =
+        fingerprint(std::span<const Record>(data));
+    sorter::DramSorter sorter;
+    const auto report = sorter.sort(data, 4);
+    EXPECT_TRUE(isSorted(std::span<const Record>(data)));
+    EXPECT_EQ(before, fingerprint(std::span<const Record>(data)));
+    EXPECT_EQ(report.config.p, 32u);
+    EXPECT_EQ(report.config.ell, 256u);
+    EXPECT_GT(report.modeledSeconds, 0.0);
+    EXPECT_GT(report.predictedSeconds, 0.0);
+    // Stage sim and Equation 1 agree within 10% (paper VI-B2).
+    EXPECT_NEAR(report.modeledSeconds, report.predictedSeconds,
+                0.10 * report.predictedSeconds);
+}
+
+TEST(DramSorter, ModeledTimeMatchesTable1Shape)
+{
+    // Modeled ms/GB for a DRAM-scale sort should be in the right
+    // ballpark (Table I reports 172 ms/GB at the measured 29 GB/s;
+    // at nominal 32 GB/s with the model-optimal ell = 256 tree the
+    // model gives ~125-145 ms/GB).
+    auto data = makeRecords(1'000'000, Distribution::UniformRandom);
+    sorter::DramSorter sorter;
+    const auto report = sorter.sort(data, 4);
+    // 4 MB input: small, so just sanity-check the per-GB figure the
+    // model would report for a 16 GB array instead.
+    model::BonsaiInputs in;
+    in.array = {16ULL * kGB / 4, 4};
+    in.hw = core::awsF1();
+    const auto est = model::latencyEstimate(
+        in, amt::AmtConfig{32, 256, 1, 1});
+    const double ms_per_gb = toMs(est.latencySeconds) / 16.0;
+    EXPECT_NEAR(ms_per_gb, 125.0, 5.0);
+    (void)report;
+}
+
+TEST(HbmSorter, PicksUnrolledConfigAndSorts)
+{
+    auto data = makeRecords(100'000, Distribution::UniformRandom);
+    model::MergerArchParams arch;
+    arch.presortRunLength = 16;
+    sorter::HbmSorter sorter(core::hbmU50());
+    const auto report = sorter.sort(data, 4);
+    EXPECT_TRUE(isSorted(std::span<const Record>(data)));
+    EXPECT_GE(report.config.lambdaUnrl, 1u);
+}
+
+TEST(SsdSorter, TwoPhaseSortsAndMatchesPlan)
+{
+    auto data = makeRecords(300'000, Distribution::UniformRandom, 17);
+    const Fingerprint before =
+        fingerprint(std::span<const Record>(data));
+    // Scale the hardware down so the two-phase structure is exercised
+    // on a test-sized array: "DRAM" of 400 KB -> 100 K-record chunks.
+    model::HardwareParams hw = core::awsF1();
+    hw.cDram = 800'000; // bytes -> 100 K-record chunks (cDram/8)
+    sorter::SsdSorter sorter(hw);
+    const auto report = sorter.sort(data, 4);
+    EXPECT_TRUE(isSorted(std::span<const Record>(data)));
+    EXPECT_EQ(before, fingerprint(std::span<const Record>(data)));
+    EXPECT_GT(report.plan.chunkRecords, 0u);
+    EXPECT_LT(report.plan.chunkRecords, 300'000u);
+    EXPECT_GE(report.plan.phase2Stages, 1u);
+    EXPECT_GT(report.plan.totalSeconds(), 0.0);
+}
+
+TEST(SsdSorter, FullScalePlanMatchesTableV)
+{
+    // Plan-only check at the paper's 2 TB point via a small array
+    // standing in: use planSsdSort directly for the numbers; here we
+    // verify the facade wires the plan through.
+    auto data = makeRecords(50'000, Distribution::UniformRandom);
+    sorter::SsdSorter sorter;
+    const auto report = sorter.sort(data, 4);
+    EXPECT_TRUE(isSorted(std::span<const Record>(data)));
+    EXPECT_DOUBLE_EQ(report.plan.reprogramSeconds, 4.3);
+}
+
+TEST(DramSorter, ReportsHostIoTime)
+{
+    // Figure 2 steps 1 and 4: in + out over the 8 GB/s PCIe.
+    auto data = makeRecords(250'000, Distribution::UniformRandom);
+    sorter::DramSorter sorter;
+    const auto report = sorter.sort(data, 4);
+    const double expect = 2.0 * 1'000'000 / 8e9;
+    EXPECT_NEAR(report.ioSeconds, expect, 1e-12);
+    EXPECT_NEAR(report.endToEndSeconds(),
+                report.modeledSeconds + report.ioSeconds, 1e-15);
+}
+
+TEST(DramSorter, SortsGensortRecords)
+{
+    GensortGenerator gen(2);
+    auto packed = packGensort(gen.generate(0, 50'000));
+    sorter::DramSorter sorter;
+    const auto report = sorter.sort(packed, 16);
+    EXPECT_TRUE(isSorted(std::span<const Record128>(packed)));
+    // 128-bit records: p = 8 saturates 32 GB/s (Table VI(b)).
+    EXPECT_EQ(report.config.p, 8u);
+}
+
+} // namespace
+} // namespace bonsai

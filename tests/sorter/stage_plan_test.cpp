@@ -1,0 +1,97 @@
+/** @file Unit tests for the shared stage planner. */
+
+#include <gtest/gtest.h>
+
+#include "sorter/stage_plan.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(StagePlan, GroupCountIsCeilRunsOverEll)
+{
+    sorter::StagePlan plan(chunkRuns(100, 10), 4); // 10 runs, ell 4
+    EXPECT_EQ(plan.groups(), 3u);
+}
+
+TEST(StagePlan, LeavesOwnContiguousRunBlocks)
+{
+    // 8 runs of 4 records, ell = 4 -> G = 2; leaf j owns runs
+    // [2j, 2j+2).
+    sorter::StagePlan plan(chunkRuns(32, 4), 4);
+    ASSERT_EQ(plan.groups(), 2u);
+    for (unsigned j = 0; j < 4; ++j) {
+        const auto runs = plan.leafRuns(j);
+        ASSERT_EQ(runs.size(), 2u);
+        EXPECT_EQ(runs[0].offset, 8u * j);
+        EXPECT_EQ(runs[1].offset, 8u * j + 4);
+    }
+}
+
+TEST(StagePlan, GroupsTakeOneRunPerLeaf)
+{
+    sorter::StagePlan plan(chunkRuns(32, 4), 4);
+    const auto g0 = plan.groupRuns(0);
+    ASSERT_EQ(g0.size(), 4u);
+    EXPECT_EQ(g0[0].offset, 0u);
+    EXPECT_EQ(g0[1].offset, 8u);
+    EXPECT_EQ(g0[2].offset, 16u);
+    EXPECT_EQ(g0[3].offset, 24u);
+}
+
+TEST(StagePlan, PaddedLeavesGetEmptyRuns)
+{
+    // 5 runs, ell = 4 -> G = 2; leaves 2..3 are partially/fully empty.
+    sorter::StagePlan plan(chunkRuns(50, 10), 4);
+    ASSERT_EQ(plan.groups(), 2u);
+    const auto leaf3 = plan.leafRuns(3);
+    ASSERT_EQ(leaf3.size(), 2u);
+    EXPECT_EQ(leaf3[0].length, 0u);
+    EXPECT_EQ(leaf3[1].length, 0u);
+}
+
+TEST(StagePlan, OutputRunsAreSequentialAndConserveRecords)
+{
+    sorter::StagePlan plan(chunkRuns(103, 7), 4, 200);
+    const auto out = plan.outputRuns();
+    ASSERT_EQ(out.size(), plan.groups());
+    std::uint64_t expect_offset = 200;
+    std::uint64_t total = 0;
+    for (const RunSpan &run : out) {
+        EXPECT_EQ(run.offset, expect_offset);
+        expect_offset += run.length;
+        total += run.length;
+    }
+    EXPECT_EQ(total, 103u);
+    EXPECT_EQ(plan.totalRecords(), 103u);
+}
+
+TEST(StagePlan, SingleRunPassThrough)
+{
+    sorter::StagePlan plan({RunSpan{0, 42}}, 8);
+    EXPECT_EQ(plan.groups(), 1u);
+    const auto out = plan.outputRuns();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].length, 42u);
+}
+
+TEST(StagePlan, EveryInputRunAppearsInExactlyOneGroup)
+{
+    const auto runs = chunkRuns(1000, 13); // 77 runs
+    sorter::StagePlan plan(runs, 16);
+    std::vector<int> seen(runs.size(), 0);
+    for (std::uint64_t g = 0; g < plan.groups(); ++g) {
+        for (const RunSpan &run : plan.groupRuns(g)) {
+            for (std::size_t i = 0; i < runs.size(); ++i) {
+                if (runs[i] == run)
+                    ++seen[i];
+            }
+        }
+    }
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        EXPECT_EQ(seen[i], 1) << "run " << i;
+}
+
+} // namespace
+} // namespace bonsai

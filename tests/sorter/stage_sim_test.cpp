@@ -1,0 +1,120 @@
+/** @file Unit tests for the stage-level streaming simulator. */
+
+#include <gtest/gtest.h>
+
+#include "model/perf_model.hpp"
+#include "sorter/stage_sim.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+sorter::StageSimulator::Options
+options(std::uint64_t n, unsigned p, unsigned ell, unsigned unroll = 1)
+{
+    sorter::StageSimulator::Options o;
+    o.config = amt::AmtConfig{p, ell, unroll, 1};
+    o.array = {n, 4};
+    o.frequencyHz = 250e6;
+    o.betaDram = 32e9;
+    o.presortRun = 16;
+    return o;
+}
+
+model::BonsaiInputs
+modelInputs(std::uint64_t n)
+{
+    model::BonsaiInputs in;
+    in.array = {n, 4};
+    in.hw.betaDram = 32e9;
+    return in;
+}
+
+TEST(StageSim, StageCountMatchesModel)
+{
+    for (std::uint64_t n : {1ULL << 20, 1ULL << 28, 1ULL << 32}) {
+        for (unsigned ell : {4u, 16u, 64u, 256u}) {
+            const auto result =
+                sorter::StageSimulator(options(n, 32, ell)).run();
+            EXPECT_EQ(result.stages, model::mergeStages(n, ell, 16))
+                << "n=" << n << " ell=" << ell;
+        }
+    }
+}
+
+TEST(StageSim, WithinTenPercentOfEquation1AtScale)
+{
+    // 512 MB - 16 GB of 32-bit records (the Figure 8/9 range): the
+    // streaming simulation must sit within 10% of the closed-form
+    // model (the paper's measured-vs-model bound).
+    for (std::uint64_t bytes :
+         {512 * kMB, 1 * kGB, 4 * kGB, 16 * kGB}) {
+        const std::uint64_t n = bytes / 4;
+        for (unsigned p : {8u, 16u, 32u}) {
+            for (unsigned ell : {64u, 256u}) {
+                const auto sim =
+                    sorter::StageSimulator(options(n, p, ell)).run();
+                const auto eq1 = model::latencyEstimate(
+                    modelInputs(n), amt::AmtConfig{p, ell, 1, 1});
+                EXPECT_NEAR(sim.totalSeconds, eq1.latencySeconds,
+                            0.10 * eq1.latencySeconds)
+                    << "bytes=" << bytes << " p=" << p
+                    << " ell=" << ell;
+            }
+        }
+    }
+}
+
+TEST(StageSim, FlushOverheadVisibleForSmallArrays)
+{
+    // For small arrays the per-group flush makes the simulated time
+    // strictly exceed the ideal streaming time.
+    const std::uint64_t n = 1 << 16;
+    const auto sim = sorter::StageSimulator(options(n, 32, 16)).run();
+    const auto eq1 = model::latencyEstimate(
+        modelInputs(n), amt::AmtConfig{32, 16, 1, 1});
+    EXPECT_GT(sim.totalSeconds, eq1.latencySeconds);
+}
+
+TEST(StageSim, UnrollingSpeedsUpUntilBandwidthBound)
+{
+    const std::uint64_t n = (4 * kGB) / 4;
+    sorter::StageSimulator::Options o8 = options(n, 8, 16, 1);
+    sorter::StageSimulator::Options o8x4 = options(n, 8, 16, 4);
+    const double t1 = sorter::StageSimulator(o8).run().totalSeconds;
+    const double t4 = sorter::StageSimulator(o8x4).run().totalSeconds;
+    // 4 trees at 8 GB/s each exactly consume the 32 GB/s DRAM:
+    // at-least-linear speedup (per-tree stage counts also shrink).
+    EXPECT_GE(t1 / t4, 3.5);
+    EXPECT_LE(t1 / t4, 5.5);
+    // 16 trees would need 128 GB/s: bandwidth-bound, little gain.
+    sorter::StageSimulator::Options o8x16 = options(n, 8, 16, 16);
+    const double t16 = sorter::StageSimulator(o8x16).run().totalSeconds;
+    EXPECT_GT(t4 / t16, 0.8);
+    EXPECT_LT(t4 / t16, 1.6);
+}
+
+TEST(StageSim, HbmHalvingScheduleAddsCombineStages)
+{
+    // 16 unrolled ell = 2 trees: log2(16) = 4 combining stages after
+    // the regional sort (Section IV-B).
+    const std::uint64_t n = (1 * kGB) / 4;
+    sorter::StageSimulator::Options o = options(n, 32, 2, 16);
+    o.rangePartitioned = false; // address-range mode (Section IV-B)
+    const auto unrolled = sorter::StageSimulator(o).run();
+    const std::uint64_t regional =
+        model::mergeStages(n / 16, 2, 16);
+    EXPECT_EQ(unrolled.stages, regional + 4);
+}
+
+TEST(StageSim, BytesMovedCountsBothDirectionsPerStage)
+{
+    const std::uint64_t n = 1 << 20;
+    const auto result = sorter::StageSimulator(options(n, 32, 64)).run();
+    EXPECT_EQ(result.bytesMoved,
+              2ULL * n * 4 * result.stages);
+}
+
+} // namespace
+} // namespace bonsai

@@ -1,0 +1,87 @@
+/** @file Tests for the throughput-mode batch sorter facade. */
+
+#include <gtest/gtest.h>
+
+#include "common/checks.hpp"
+#include "common/random.hpp"
+#include "sorter/throughput_sorter.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(ThroughputSorter, SortsEveryArrayInBatch)
+{
+    std::vector<std::vector<Record>> batch;
+    for (int i = 0; i < 6; ++i) {
+        batch.push_back(makeRecords(10'000 + 1000 * i,
+                                    Distribution::UniformRandom, i));
+    }
+    sorter::ThroughputSorter sorter;
+    const auto report = sorter.sortBatch(batch, 4);
+    EXPECT_EQ(report.arrays, 6u);
+    for (const auto &array : batch)
+        EXPECT_TRUE(isSorted(std::span<const Record>(array)));
+    EXPECT_GT(report.throughputBytesPerSec, 0.0);
+    EXPECT_GT(report.batchSeconds, 0.0);
+}
+
+TEST(ThroughputSorter, PaperScaleBatchSaturatesIoBus)
+{
+    // 8 GB arrays on the F1 with an 8 GB/s I/O bus: the chosen
+    // pipeline must deliver the full 8 GB/s (Section IV-C phase 1).
+    std::vector<std::vector<Record>> tiny_batch(1);
+    tiny_batch[0] = makeRecords(1000, Distribution::UniformRandom);
+    model::MergerArchParams arch;
+    arch.presortRunLength = 256;
+    sorter::ThroughputSorter sorter(core::awsF1(), arch);
+    // Model-only check at paper scale via the optimizer the facade
+    // uses (facade executes behaviorally, so keep the data tiny and
+    // query the model separately).
+    model::BonsaiInputs in;
+    in.array = {8ULL * kGB / 4, 4};
+    in.hw = core::awsF1();
+    in.arch = arch;
+    core::Optimizer opt(in);
+    const auto best = opt.best(core::Objective::Throughput);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_DOUBLE_EQ(best->perf.throughputBytesPerSec, 8e9);
+    const auto report = sorter.sortBatch(tiny_batch, 4);
+    EXPECT_TRUE(isSorted(std::span<const Record>(tiny_batch[0])));
+    (void)report;
+}
+
+TEST(ThroughputSorter, BatchThroughputBeatsLatencyModeOnManyArrays)
+{
+    // Eq. 7 vs Eq. 1 at the paper's SSD phase-1 scale: pipelined
+    // throughput (8 GB/s) vs one latency-optimal sorter processing
+    // arrays one at a time.
+    model::BonsaiInputs in;
+    in.array = {8ULL * kGB / 4, 4};
+    in.hw = core::awsF1();
+    in.hw.betaIo = 8.0 * kGB;
+    in.arch.presortRunLength = 256;
+    core::Optimizer opt(in);
+    const auto thr = opt.best(core::Objective::Throughput);
+    const auto lat = opt.best(core::Objective::Latency);
+    ASSERT_TRUE(thr && lat);
+    // One array at a time over the I/O bus: in + sort + out.
+    const double serial_per_array = 8.0 / 8.0 /*in*/ +
+        lat->perf.latencySeconds + 8.0 / 8.0 /*out*/;
+    const double pipelined_per_array =
+        8ULL * kGB / thr->perf.throughputBytesPerSec;
+    EXPECT_LT(pipelined_per_array, serial_per_array);
+}
+
+TEST(ThroughputSorter, EmptyBatch)
+{
+    std::vector<std::vector<Record>> batch;
+    sorter::ThroughputSorter sorter;
+    const auto report = sorter.sortBatch(batch, 4);
+    EXPECT_EQ(report.arrays, 0u);
+    EXPECT_EQ(report.throughputBytesPerSec, 0.0);
+}
+
+} // namespace
+} // namespace bonsai
