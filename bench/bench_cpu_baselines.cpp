@@ -86,7 +86,8 @@ BM_BonsaiBehavioral(benchmark::State &state)
 {
     const auto input = workload(state.range(0));
     sorter::BehavioralSorter<Record> sorter(
-        static_cast<unsigned>(state.range(1)), 16);
+        static_cast<unsigned>(state.range(1)), 16,
+        static_cast<unsigned>(state.range(2)));
     for (auto _ : state) {
         auto data = input;
         sorter.sort(data);
@@ -103,10 +104,12 @@ BENCHMARK(BM_ParallelMsdRadix)
     ->Arg(1 << 22);
 BENCHMARK(BM_SampleSort)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
 BENCHMARK(BM_BonsaiBehavioral)
-    ->Args({1 << 20, 16})
-    ->Args({1 << 20, 64})
-    ->Args({1 << 20, 256})
-    ->Args({1 << 22, 256});
+    ->Args({1 << 20, 16, 1})
+    ->Args({1 << 20, 64, 1})
+    ->Args({1 << 20, 256, 1})
+    ->Args({1 << 22, 256, 1})
+    ->Args({1 << 22, 256, 4})
+    ->Args({1 << 22, 256, 8});
 
 } // namespace
 

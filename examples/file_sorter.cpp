@@ -3,9 +3,9 @@
  * File-based sort-benchmark workflow (gensort / sort / valsort), the
  * way a downstream user would actually run Bonsai on data at rest:
  *
- *   file_sorter gen <records> <file>      generate 100-byte records
- *   file_sorter sort <in> <out>           Bonsai-sort a record file
- *   file_sorter validate <file>           valsort-style check
+ *   file_sorter gen <records> <file>           generate 100-byte records
+ *   file_sorter sort <in> <out> [--threads N]  Bonsai-sort a record file
+ *   file_sorter validate <file>                valsort-style check
  *
  * Records on disk use the Jim Gray sort-benchmark layout (10-byte key,
  * 90-byte value); sorting packs them to 16-byte AMT records (10-byte
@@ -66,10 +66,11 @@ cmdGen(std::uint64_t n, const char *path)
 }
 
 int
-cmdSort(const char *in_path, const char *out_path)
+cmdSort(const char *in_path, const char *out_path, unsigned threads)
 {
     auto recs = readRecords(in_path);
-    std::printf("read %zu records\n", recs.size());
+    std::printf("read %zu records (%u host thread%s)\n", recs.size(),
+                threads, threads == 1 ? "" : "s");
 
     // Pack to 16-byte AMT records; remember each packed record's
     // position so the 100-byte payloads can be emitted in key order.
@@ -78,6 +79,7 @@ cmdSort(const char *in_path, const char *out_path)
         packed[i].value = i; // carry the source index instead
 
     sorter::DramSorter sorter;
+    sorter.setThreads(threads);
     const auto report = sorter.sort(packed, 16);
     std::printf("sorted with AMT(%u, %u), %u stages; modeled FPGA "
                 "time %.2f ms (+%.2f ms host I/O)\n",
@@ -119,19 +121,34 @@ cmdValidate(const char *path)
 int
 main(int argc, char **argv)
 {
-    if (argc >= 4 && std::strcmp(argv[1], "gen") == 0)
-        return cmdGen(std::strtoull(argv[2], nullptr, 10), argv[3]);
-    if (argc >= 4 && std::strcmp(argv[1], "sort") == 0)
-        return cmdSort(argv[2], argv[3]);
-    if (argc >= 3 && std::strcmp(argv[1], "validate") == 0)
-        return cmdValidate(argv[2]);
+    // Strip the optional "--threads N" pair from anywhere in argv.
+    unsigned threads = 1;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[i] + 10, nullptr, 10));
+        else
+            args.push_back(argv[i]);
+    }
+    const int nargs = static_cast<int>(args.size());
+
+    if (nargs >= 4 && std::strcmp(args[1], "gen") == 0)
+        return cmdGen(std::strtoull(args[2], nullptr, 10), args[3]);
+    if (nargs >= 4 && std::strcmp(args[1], "sort") == 0)
+        return cmdSort(args[2], args[3], threads);
+    if (nargs >= 3 && std::strcmp(args[1], "validate") == 0)
+        return cmdValidate(args[2]);
 
     // No arguments: run the whole workflow on a temporary file as a
     // self-demonstration.
-    std::printf("usage: file_sorter gen <records> <file> | sort <in> "
-                "<out> | validate <file>\n");
+    std::printf("usage: file_sorter [--threads N] gen <records> <file> "
+                "| sort <in> <out> | validate <file>\n");
     std::printf("\nrunning self-demo with 100,000 records...\n");
     cmdGen(100'000, "/tmp/bonsai_demo.dat");
-    cmdSort("/tmp/bonsai_demo.dat", "/tmp/bonsai_demo.sorted");
+    cmdSort("/tmp/bonsai_demo.dat", "/tmp/bonsai_demo.sorted", threads);
     return cmdValidate("/tmp/bonsai_demo.sorted");
 }

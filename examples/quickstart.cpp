@@ -11,10 +11,12 @@
  *     scale.
  *
  * Build & run:  ./build/examples/quickstart [num_records]
+ *                                           [--threads N]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/checks.hpp"
 #include "common/random.hpp"
@@ -25,14 +27,25 @@ main(int argc, char **argv)
 {
     using namespace bonsai;
     std::size_t n = 1'000'000;
-    if (argc > 1)
-        n = std::strtoull(argv[1], nullptr, 10);
+    unsigned threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[i] + 10, nullptr, 10));
+        else
+            n = std::strtoull(argv[i], nullptr, 10);
+    }
 
-    std::printf("Bonsai quickstart: sorting %zu records (32-bit keys)\n",
-                n);
+    std::printf("Bonsai quickstart: sorting %zu records (32-bit keys, "
+                "%u host thread%s)\n",
+                n, threads, threads == 1 ? "" : "s");
     auto data = makeRecords(n, Distribution::UniformRandom);
 
     sorter::DramSorter sorter; // AWS F1 preset (Section IV-A)
+    sorter.setThreads(threads); // byte-identical for any thread count
     const sorter::SortReport report = sorter.sort(data, /*r=*/4);
 
     if (!isSorted(std::span<const Record>(data))) {

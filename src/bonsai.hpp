@@ -28,6 +28,7 @@
 #include "common/random.hpp"
 #include "common/record.hpp"
 #include "common/run.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 
 #include "model/merger_costs.hpp"
@@ -41,6 +42,7 @@
 #include "core/ssd_planner.hpp"
 
 #include "sorter/behavioral.hpp"
+#include "sorter/merge_path.hpp"
 #include "sorter/pipeline_sim.hpp"
 #include "sorter/range_partitioner.hpp"
 #include "sorter/sim_sorter.hpp"

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Persistent work-stealing thread pool for the software sorters.
+ *
+ * The behavioral sorter used to spawn and join a fresh std::thread set
+ * for every merge stage; this pool replaces that churn with workers
+ * that persist across all stages of a sort.  Work is published as a
+ * *parallel-for job*: a task count plus a task function.  Workers (and
+ * the submitting thread, which always participates) steal the next
+ * unclaimed task index from the shared index space with a single
+ * atomic fetch-add, so load balances dynamically no matter how uneven
+ * the individual tasks are — the scheme FLiMS/Merge Path style slice
+ * decomposition relies on to keep every core busy through both the
+ * many-small-group early stages and the single-group final stage.
+ *
+ * Guarantees:
+ *  - every index in [0, count) is executed exactly once;
+ *  - parallelFor() returns only after all indices have finished;
+ *  - a pool with threads() == 1 runs jobs inline with zero overhead
+ *    (no workers are spawned);
+ *  - jobs are data-race-free (TSan-clean): claiming is a single
+ *    acq_rel fetch-add and completion is released through the job
+ *    mutex/condition variable.
+ *
+ * Jobs must not themselves call parallelFor on the same pool (no
+ * nested parallelism); the sorter flattens group x slice work into one
+ * task list per stage instead.
+ */
+
+#ifndef BONSAI_COMMON_THREAD_POOL_HPP
+#define BONSAI_COMMON_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bonsai
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Total execution width, including the thread that
+     *        calls parallelFor(); the pool spawns threads-1 workers.
+     *        0 is treated as 1 (fully inline).
+     */
+    explicit ThreadPool(unsigned threads)
+        : width_(threads == 0 ? 1 : threads)
+    {
+        workers_.reserve(width_ - 1);
+        for (unsigned t = 0; t + 1 < width_; ++t)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (std::thread &worker : workers_)
+            worker.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Execution width (worker count + the participating caller). */
+    unsigned threads() const { return width_; }
+
+    /**
+     * Run @p fn(i) for every i in [0, count); blocks until all tasks
+     * are done.  The caller participates, so the pool makes progress
+     * even with zero workers.
+     */
+    void
+    parallelFor(std::uint64_t count,
+                const std::function<void(std::uint64_t)> &fn)
+    {
+        if (count == 0)
+            return;
+        if (width_ == 1 || count == 1) {
+            for (std::uint64_t i = 0; i < count; ++i)
+                fn(i);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            fn_ = &fn;
+            count_ = count;
+            next_.store(0, std::memory_order_relaxed);
+            pending_ = count;
+            ++generation_;
+        }
+        wake_.notify_all();
+        runTasks(fn, count);
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return pending_ == 0; });
+        fn_ = nullptr; // job retired; workers are back to waiting
+    }
+
+  private:
+    /** Steal and run task indices until the index space is empty. */
+    void
+    runTasks(const std::function<void(std::uint64_t)> &fn,
+             std::uint64_t count)
+    {
+        std::uint64_t finished = 0;
+        for (;;) {
+            const std::uint64_t i =
+                next_.fetch_add(1, std::memory_order_acq_rel);
+            if (i >= count)
+                break;
+            fn(i);
+            ++finished;
+        }
+        if (finished == 0)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_ -= finished;
+        if (pending_ == 0)
+            done_.notify_all();
+    }
+
+    void
+    workerLoop()
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            const std::function<void(std::uint64_t)> *fn = nullptr;
+            std::uint64_t count = 0;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [&] {
+                    return stop_ || (generation_ != seen && fn_);
+                });
+                if (stop_)
+                    return;
+                seen = generation_;
+                fn = fn_;
+                count = count_;
+            }
+            runTasks(*fn, count);
+        }
+    }
+
+    const unsigned width_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_; ///< job published / shutdown
+    std::condition_variable done_; ///< all tasks of the job finished
+    const std::function<void(std::uint64_t)> *fn_ = nullptr;
+    std::uint64_t count_ = 0;
+    std::uint64_t pending_ = 0;
+    std::uint64_t generation_ = 0;
+    std::atomic<std::uint64_t> next_{0}; ///< shared task index space
+    bool stop_ = false;
+};
+
+} // namespace bonsai
+
+#endif // BONSAI_COMMON_THREAD_POOL_HPP

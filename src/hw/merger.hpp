@@ -59,15 +59,15 @@ class Merger : public sim::Component
     void
     tick(sim::Cycle now) override
     {
-        drainPipeline(now);
-        if (pipelineBlocked(now))
+        if (!drainPipeline(now))
             return; // downstream stall propagates through the pipeline
         consumeLeadingTerminals();
         if (aEnded_ && bEnded_) {
             flushStep(now);
-        } else if (aEnded_ || bEnded_) {
-            drainStep(now, aEnded_ ? inB_ : inA_,
-                      aEnded_ ? bEnded_ : aEnded_);
+        } else if (aEnded_) {
+            drainStep(now, inB_, bEnded_);
+        } else if (bEnded_) {
+            drainStep(now, inA_, aEnded_);
         } else {
             mergeStep(now);
         }
@@ -98,16 +98,27 @@ class Merger : public sim::Component
         bool terminal = false; ///< emit a terminal after the records
     };
 
-    void
+    /**
+     * Advance the output end of the pipeline: at most one group
+     * leaves the network per cycle.  Returns whether the network can
+     * accept a new input tuple this cycle — true when nothing was due
+     * to leave or the due group left (one out, one in), false only
+     * when the due group is stuck on output space.  During a stall
+     * ready groups back up behind the blocked head; returning true as
+     * soon as the head drains means the backlog empties at one group
+     * per cycle *while intake continues*, so a transient downstream
+     * stall costs exactly the stalled cycles rather than stalled
+     * cycles plus a full backlog drain.
+     */
+    bool
     drainPipeline(sim::Cycle now)
     {
-        // At most one group leaves the network per cycle.
         if (pipeline_.empty() || pipeline_.front().ready > now)
-            return;
+            return true;
         Group &g = pipeline_.front();
         const std::size_t need = g.records.size() + (g.terminal ? 1 : 0);
         if (out_.freeSpace() < need)
-            return;
+            return false;
         for (const RecordT &r : g.records) {
             out_.push(r);
             ++recordsOut_;
@@ -115,14 +126,7 @@ class Merger : public sim::Component
         if (g.terminal)
             out_.push(RecordT::terminal());
         pipeline_.pop_front();
-    }
-
-    bool
-    pipelineBlocked(sim::Cycle now) const
-    {
-        // The network accepts one tuple per cycle; if a ready group is
-        // still waiting on output space, the whole pipeline stalls.
-        return !pipeline_.empty() && pipeline_.front().ready <= now;
+        return true;
     }
 
     void

@@ -6,20 +6,30 @@
  * StagePlan).  Produces buffers bit-identical to the cycle simulator
  * at a tiny fraction of the cost — used for GB-scale validation, the
  * large experiment sweeps, and live CPU comparisons.
+ *
+ * Threading model (docs/ARCHITECTURE.md "Software threading model"):
+ * one persistent work-stealing ThreadPool lives for the whole sort.
+ * Every stage is flattened into a list of (group, slice) merge tasks:
+ * small groups are one task each, large groups are cut into disjoint
+ * Merge Path slices, so both the many-small-group early stages and the
+ * single-group final stage saturate all cores.  Output is byte-
+ * identical for every thread count because slices follow the
+ * (key, input index, position) total order the loser tree merges by.
  */
 
 #ifndef BONSAI_SORTER_BEHAVIORAL_HPP
 #define BONSAI_SORTER_BEHAVIORAL_HPP
 
-#include <atomic>
+#include <algorithm>
 #include <cstdint>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "common/run.hpp"
+#include "common/thread_pool.hpp"
 #include "hw/bitonic.hpp"
 #include "sorter/loser_tree.hpp"
+#include "sorter/merge_path.hpp"
 #include "sorter/stage_plan.hpp"
 
 namespace bonsai::sorter
@@ -31,17 +41,23 @@ struct BehavioralStats
     unsigned stages = 0;
     std::uint64_t recordsMoved = 0; ///< total across stages
     std::vector<std::uint64_t> groupsPerStage;
+
+    friend bool operator==(const BehavioralStats &,
+                           const BehavioralStats &) = default;
 };
 
 template <typename RecordT>
 class BehavioralSorter
 {
   public:
+    /** Groups below this size are not worth partitioning. */
+    static constexpr std::uint64_t kMinSliceRecords = 4096;
+
     /**
      * @param ell Merge fan-in per stage.
      * @param presort_run Bitonic presorter run length (1 disables).
-     * @param threads Worker threads for the per-stage group loop
-     *        (groups are independent merges); 1 = serial.
+     * @param threads Worker threads shared by the group-level and
+     *        intra-group (Merge Path) merge tasks; 1 = serial.
      */
     explicit BehavioralSorter(unsigned ell,
                               std::uint64_t presort_run = 16,
@@ -50,6 +66,8 @@ class BehavioralSorter
           threads_(threads == 0 ? 1 : threads)
     {
     }
+
+    unsigned threads() const { return threads_; }
 
     /** Sort @p data in place; returns per-stage statistics. */
     BehavioralStats
@@ -63,9 +81,10 @@ class BehavioralSorter
         std::vector<RecordT> scratch(data.size());
         std::vector<RecordT> *src = &data;
         std::vector<RecordT> *dst = &scratch;
+        ThreadPool pool(threads_); // persists across all stages
         while (runs.size() > 1) {
             StagePlan plan(std::move(runs), ell_);
-            runStage(plan, *src, *dst);
+            runStage(plan, *src, *dst, pool);
             runs = plan.outputRuns();
             stats.groupsPerStage.push_back(plan.groups());
             stats.recordsMoved += plan.totalRecords();
@@ -75,6 +94,60 @@ class BehavioralSorter
         if (src != &data)
             data = std::move(*src);
         return stats;
+    }
+
+    /**
+     * Execute one merge stage of @p plan from @p src into @p dst on
+     * @p pool.  Public so stage-level benchmarks (bench_ablation_
+     * threads) and the SSD sorter's phase-2 merge reuse the exact
+     * scheduling the full sort uses.  Groups write disjoint output
+     * runs and slices write disjoint sub-ranges, so all tasks run
+     * concurrently; the result is byte-identical for any pool width.
+     */
+    void
+    runStage(const StagePlan &plan, const std::vector<RecordT> &src,
+             std::vector<RecordT> &dst, ThreadPool &pool) const
+    {
+        const std::vector<RunSpan> out = plan.outputRuns();
+        const std::uint64_t stage_total = plan.totalRecords();
+        const unsigned width = pool.threads();
+
+        struct SliceTask
+        {
+            std::vector<std::span<const RecordT>> members;
+            std::vector<std::uint64_t> begin; ///< empty = full extent
+            std::vector<std::uint64_t> end;
+            RecordT *out;
+        };
+        std::vector<SliceTask> tasks;
+        tasks.reserve(plan.groups());
+        for (std::uint64_t g = 0; g < plan.groups(); ++g) {
+            std::vector<std::span<const RecordT>> members;
+            for (const RunSpan &run : plan.groupRuns(g))
+                members.emplace_back(src.data() + run.offset,
+                                     run.length);
+            RecordT *base = dst.data() + out[g].offset;
+            const unsigned slices =
+                sliceCount(out[g].length, stage_total, width);
+            if (slices <= 1) {
+                tasks.push_back(
+                    SliceTask{std::move(members), {}, {}, base});
+                continue;
+            }
+            const MergePath<RecordT> path(members);
+            const auto bounds = path.partition(slices);
+            std::uint64_t rank = 0;
+            for (unsigned t = 0; t < slices; ++t) {
+                tasks.push_back(SliceTask{members, bounds[t],
+                                          bounds[t + 1], base + rank});
+                rank = out[g].length * (t + 1) / slices;
+            }
+        }
+
+        pool.parallelFor(tasks.size(), [&](std::uint64_t i) {
+            mergeSlice(tasks[i].members, tasks[i].begin, tasks[i].end,
+                       tasks[i].out);
+        });
     }
 
   private:
@@ -98,57 +171,45 @@ class BehavioralSorter
         return runs;
     }
 
-    void
-    runStage(const StagePlan &plan, const std::vector<RecordT> &src,
-             std::vector<RecordT> &dst) const
+    /**
+     * Merge Path slices for a group of @p group_len records within a
+     * stage of @p stage_total records: each group gets a share of the
+     * pool proportional to its size, so a stage with G >= width groups
+     * runs one task per group while the final single-group stage is
+     * cut @p width ways.
+     */
+    static unsigned
+    sliceCount(std::uint64_t group_len, std::uint64_t stage_total,
+               unsigned width)
     {
-        const std::vector<RunSpan> out = plan.outputRuns();
-        const auto merge_one = [&](std::uint64_t g) {
-            std::vector<std::span<const RecordT>> members;
-            for (const RunSpan &run : plan.groupRuns(g)) {
-                members.emplace_back(src.data() + run.offset,
-                                     run.length);
-            }
-            mergeGroup(std::move(members), dst.data() + out[g].offset);
-        };
-        if (threads_ <= 1 || plan.groups() < 2) {
-            for (std::uint64_t g = 0; g < plan.groups(); ++g)
-                merge_one(g);
-            return;
-        }
-        // Groups write disjoint output ranges: embarrassingly
-        // parallel work-stealing over the group index.
-        std::atomic<std::uint64_t> next{0};
-        std::vector<std::thread> workers;
-        const unsigned count = std::min<std::uint64_t>(
-            threads_, plan.groups());
-        workers.reserve(count);
-        for (unsigned t = 0; t < count; ++t) {
-            workers.emplace_back([&] {
-                for (;;) {
-                    const std::uint64_t g = next.fetch_add(
-                        1, std::memory_order_relaxed);
-                    if (g >= plan.groups())
-                        return;
-                    merge_one(g);
-                }
-            });
-        }
-        for (std::thread &worker : workers)
-            worker.join();
+        if (width <= 1 || group_len < kMinSliceRecords ||
+            stage_total == 0)
+            return 1;
+        const std::uint64_t share =
+            (group_len * width + stage_total - 1) / stage_total;
+        return static_cast<unsigned>(
+            std::min<std::uint64_t>(share ? share : 1, width));
     }
 
+    /** Merge one slice (or whole group, when begin/end are empty). */
     static void
-    mergeGroup(std::vector<std::span<const RecordT>> members,
-               RecordT *out)
+    mergeSlice(const std::vector<std::span<const RecordT>> &members,
+               const std::vector<std::uint64_t> &begin,
+               const std::vector<std::uint64_t> &end, RecordT *out)
     {
         if (members.empty())
             return;
         if (members.size() == 1) {
-            std::copy(members[0].begin(), members[0].end(), out);
+            const auto &m = members[0];
+            if (begin.empty())
+                std::copy(m.begin(), m.end(), out);
+            else
+                std::copy(m.begin() + begin[0], m.begin() + end[0],
+                          out);
             return;
         }
-        LoserTree<RecordT> tree(std::move(members));
+        LoserTree<RecordT> tree(
+            {members.begin(), members.end()}, begin, end);
         while (!tree.done())
             *out++ = tree.pop();
     }

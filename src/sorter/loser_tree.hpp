@@ -8,6 +8,14 @@
  * cursors, internal nodes store the loser of their subtree's
  * tournament, the overall winner is kept outside the tree.  Each pop
  * replays only the winner's root path: O(log ell) comparisons.
+ *
+ * Equal keys are broken by input index, so the tree emits the unique
+ * sequence ordered by (key, input index, position) — the same
+ * augmented total order the Merge Path partitioner cuts on.  That
+ * makes the output independent of how a merge is sliced across
+ * threads: a range-limited tree per slice (bounded-cursor
+ * constructor) reproduces exactly the records the whole-merge tree
+ * would emit in that output range.
  */
 
 #ifndef BONSAI_SORTER_LOSER_TREE_HPP
@@ -25,13 +33,40 @@ template <typename RecordT>
 class LoserTree
 {
   public:
+    /** Merge the full extent of every input. */
     explicit LoserTree(std::vector<std::span<const RecordT>> inputs)
+        : LoserTree(std::move(inputs), {}, {})
+    {
+    }
+
+    /**
+     * Range-limited merge: input i is consumed over positions
+     * [begin[i], end[i]) only — a Merge Path slice.  Empty @p begin /
+     * @p end default to the full extent.
+     */
+    LoserTree(std::vector<std::span<const RecordT>> inputs,
+              std::vector<std::uint64_t> begin,
+              std::vector<std::uint64_t> end)
         : inputs_(std::move(inputs))
     {
+        assert(begin.size() == end.size());
+        assert(begin.empty() || begin.size() == inputs_.size());
         ways_ = 1;
         while (ways_ < inputs_.size())
             ways_ *= 2;
-        pos_.assign(inputs_.size(), 0);
+        if (begin.empty()) {
+            pos_.assign(inputs_.size(), 0);
+            end_.reserve(inputs_.size());
+            for (const auto &in : inputs_)
+                end_.push_back(in.size());
+        } else {
+            pos_.assign(begin.begin(), begin.end());
+            end_.assign(end.begin(), end.end());
+            for (std::size_t i = 0; i < inputs_.size(); ++i) {
+                assert(pos_[i] <= end_[i]);
+                assert(end_[i] <= inputs_[i].size());
+            }
+        }
         tree_.assign(ways_, kEmpty);
         winner_ = buildTournament(1);
     }
@@ -47,8 +82,7 @@ class LoserTree
         const std::size_t src = winner_;
         const RecordT out = inputs_[src][pos_[src]];
         ++pos_[src];
-        std::size_t candidate =
-            pos_[src] < inputs_[src].size() ? src : kEmpty;
+        std::size_t candidate = pos_[src] < end_[src] ? src : kEmpty;
         // Replay the winner's root path against the stored losers.
         for (std::size_t node = (src + ways_) / 2; node >= 1;
              node /= 2) {
@@ -69,7 +103,8 @@ class LoserTree
         return inputs_[i][pos_[i]];
     }
 
-    /** Does cursor @p a beat cursor @p b (strictly smaller head)? */
+    /** Does cursor @p a beat cursor @p b?  Smaller head wins; equal
+     *  keys go to the lower input index (augmented order). */
     bool
     beats(std::size_t a, std::size_t b) const
     {
@@ -77,14 +112,18 @@ class LoserTree
             return false;
         if (b == kEmpty)
             return true;
-        return head(a) < head(b);
+        if (head(a) < head(b))
+            return true;
+        if (head(b) < head(a))
+            return false;
+        return a < b;
     }
 
     /** Cursor at leaf slot @p slot, or kEmpty. */
     std::size_t
     slotSource(std::size_t slot) const
     {
-        if (slot < inputs_.size() && !inputs_[slot].empty())
+        if (slot < inputs_.size() && pos_[slot] < end_[slot])
             return slot;
         return kEmpty;
     }
@@ -107,8 +146,9 @@ class LoserTree
     }
 
     std::vector<std::span<const RecordT>> inputs_;
-    std::vector<std::size_t> pos_;
-    std::vector<std::size_t> tree_; ///< losers, heap-indexed
+    std::vector<std::uint64_t> pos_; ///< next unread position
+    std::vector<std::uint64_t> end_; ///< one past the last position
+    std::vector<std::size_t> tree_;  ///< losers, heap-indexed
     std::size_t ways_ = 1;
     std::size_t winner_ = kEmpty;
 };

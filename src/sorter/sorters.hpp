@@ -25,6 +25,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/optimizer.hpp"
 #include "core/platforms.hpp"
 #include "core/ssd_planner.hpp"
@@ -72,6 +73,14 @@ class DramSorter
         : hw_(hw), arch_(arch), space_(space)
     {
     }
+
+    /** Worker threads for the behavioral execution (1 = serial; the
+     *  sorted output is byte-identical for any thread count). */
+    void setThreads(unsigned threads)
+    {
+        threads_ = threads == 0 ? 1 : threads;
+    }
+    unsigned threads() const { return threads_; }
 
     /** Sort @p data in place; RecordT is any record type from
      *  common/record.hpp.  @p record_bytes is the modeled width r. */
@@ -124,7 +133,8 @@ class DramSorter
 
         const auto start = std::chrono::steady_clock::now();
         BehavioralSorter<RecordT> engine(choice.config.ell,
-                                         in.arch.presortRunLength);
+                                         in.arch.presortRunLength,
+                                         threads_);
         engine.sort(data);
         report.hostSeconds =
             std::chrono::duration<double>(
@@ -136,6 +146,7 @@ class DramSorter
     model::HardwareParams hw_;
     model::MergerArchParams arch_;
     core::SearchSpace space_;
+    unsigned threads_ = 1;
 };
 
 /** HBM sorter: unrolled trees over many banks (Section IV-B).  The
@@ -171,6 +182,12 @@ class SsdSorter
     {
     }
 
+    /** Worker threads for both phases (1 = serial). */
+    void setThreads(unsigned threads)
+    {
+        threads_ = threads == 0 ? 1 : threads;
+    }
+
     /** Report of a two-phase sort (Table V shape). */
     struct SsdReport
     {
@@ -196,7 +213,8 @@ class SsdSorter
         const std::uint64_t chunk = plan->chunkRecords == 0
             ? data.size() : plan->chunkRecords;
         BehavioralSorter<RecordT> phase1(plan->phase1.config.ell,
-                                         arch_.presortRunLength);
+                                         arch_.presortRunLength,
+                                         threads_);
         std::vector<RunSpan> runs;
         for (std::uint64_t lo = 0; lo < data.size(); lo += chunk) {
             const std::uint64_t len =
@@ -208,25 +226,18 @@ class SsdSorter
             runs.push_back(RunSpan{lo, len});
         }
         // Phase 2: ell-way merge of the sorted chunks (each stage is
-        // one SSD round trip).
+        // one SSD round trip), on the behavioral sorter's shared
+        // stage executor so wide merges are Merge Path sliced too.
+        const BehavioralSorter<RecordT> phase2(
+            plan->phase2.config.ell, 1, threads_);
+        ThreadPool pool(threads_);
         std::vector<RecordT> scratch(data.size());
         std::vector<RecordT> *src = &data;
         std::vector<RecordT> *dst = &scratch;
         while (runs.size() > 1) {
-            StagePlan stage(runs, plan->phase2.config.ell);
-            const std::vector<RunSpan> out = stage.outputRuns();
-            for (std::uint64_t g = 0; g < stage.groups(); ++g) {
-                std::vector<std::span<const RecordT>> members;
-                for (const RunSpan &run : stage.groupRuns(g)) {
-                    members.emplace_back(src->data() + run.offset,
-                                         run.length);
-                }
-                LoserTree<RecordT> tree(std::move(members));
-                RecordT *cursor = dst->data() + out[g].offset;
-                while (!tree.done())
-                    *cursor++ = tree.pop();
-            }
-            runs = out;
+            StagePlan stage(std::move(runs), plan->phase2.config.ell);
+            phase2.runStage(stage, *src, *dst, pool);
+            runs = stage.outputRuns();
             std::swap(src, dst);
         }
         if (src != &data)
@@ -242,6 +253,7 @@ class SsdSorter
     model::HardwareParams hw_;
     core::SsdParams ssd_;
     model::MergerArchParams arch_;
+    unsigned threads_ = 1;
 };
 
 } // namespace bonsai::sorter

@@ -101,6 +101,10 @@ class StagePlan
     unsigned
     spreadStride() const
     {
+        // An empty plan has no runs to spread; without this guard the
+        // doubling condition (2 * stride * 0 <= ell) never fails.
+        if (runs_.empty())
+            return 1;
         unsigned stride = 1;
         while (2ULL * stride * runs_.size() <= ell_)
             stride *= 2;

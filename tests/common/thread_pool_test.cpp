@@ -1,0 +1,95 @@
+/** @file Unit tests for the persistent work-stealing thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::uint64_t kCount = 10'000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallelFor(kCount, [&](std::uint64_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::uint64_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SingleThreadRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    std::uint64_t sum = 0; // unsynchronized: must run on the caller
+    pool.parallelFor(100, [&](std::uint64_t i) { sum += i; });
+    EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, ZeroThreadsIsTreatedAsOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), 1u);
+    bool ran = false;
+    pool.parallelFor(1, [&](std::uint64_t) { ran = true; });
+    EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(0, [&](std::uint64_t) { FAIL(); });
+}
+
+TEST(ThreadPool, PersistsAcrossManyJobs)
+{
+    // The sorter reuses one pool for every stage; back-to-back jobs
+    // must not lose tasks or deadlock on stale generations.
+    ThreadPool pool(8);
+    std::atomic<std::uint64_t> total{0};
+    for (int job = 0; job < 200; ++job) {
+        pool.parallelFor(job % 17 + 1, [&](std::uint64_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    std::uint64_t expect = 0;
+    for (int job = 0; job < 200; ++job)
+        expect += job % 17 + 1;
+    EXPECT_EQ(total.load(), expect);
+}
+
+TEST(ThreadPool, MoreTasksThanThreadsBalances)
+{
+    ThreadPool pool(3);
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallelFor(1000, [&](std::uint64_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+}
+
+TEST(ThreadPool, FewerTasksThanThreads)
+{
+    ThreadPool pool(16);
+    std::atomic<int> count{0};
+    pool.parallelFor(2, [&](std::uint64_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, DestructionWithNoJobsIsClean)
+{
+    ThreadPool pool(8); // construct + destruct with idle workers
+}
+
+} // namespace
+} // namespace bonsai

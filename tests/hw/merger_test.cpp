@@ -215,6 +215,67 @@ TEST(Merger, ThroughputApproachesKPerCycle)
     EXPECT_GE(static_cast<double>(result.cycles), ideal);
 }
 
+TEST(Merger, TransientOutputStallCostsOnlyStalledCycles)
+{
+    // Regression: after a downstream stall cleared, the merger
+    // refused intake until its entire ready backlog had drained,
+    // instead of accepting one tuple per drained group — so every
+    // transient stall also cost a full pipeline-drain of dead cycles.
+    constexpr unsigned k = 16;
+    constexpr std::uint64_t n = 4000; // records per input
+    constexpr sim::Cycle kFirstStall = 50;
+    constexpr sim::Cycle kSpacing = 40;
+    constexpr sim::Cycle kStallLen = 10;
+    constexpr unsigned kStalls = 10;
+
+    const auto run = [&](bool inject) {
+        sim::Fifo<Record> in_a(n + 1), in_b(n + 1);
+        sim::Fifo<Record> out(2 * (k + 1)); // minimum legal capacity
+        hw::Merger<Record> merger("m", k, in_a, in_b, out);
+        for (std::uint64_t i = 0; i < n; ++i)
+            in_a.push(Record{2 * i + 1, 0});
+        in_a.push(Record::terminal());
+        for (std::uint64_t i = 0; i < n; ++i)
+            in_b.push(Record{2 * i + 2, 0});
+        in_b.push(Record::terminal());
+
+        sim::SimEngine engine;
+        engine.add(&merger);
+        std::uint64_t prev = 0;
+        std::uint64_t got = 0;
+        const auto result = engine.run(
+            [&] {
+                const sim::Cycle now = engine.now();
+                if (inject && now >= kFirstStall) {
+                    const sim::Cycle since = now - kFirstStall;
+                    if (since / kSpacing < kStalls &&
+                        since % kSpacing < kStallLen)
+                        return false; // downstream refuses to pop
+                }
+                while (!out.empty()) {
+                    const Record r = out.pop();
+                    if (!r.isTerminal()) {
+                        EXPECT_GT(r.key, prev);
+                        prev = r.key;
+                        ++got;
+                    }
+                }
+                return got == 2 * n;
+            },
+            100'000);
+        EXPECT_TRUE(result.finished) << "merger deadlocked";
+        return result.cycles;
+    };
+
+    const sim::Cycle baseline = run(false);
+    const sim::Cycle stalled = run(true);
+    EXPECT_GE(stalled, baseline);
+    // Each stall may cost its stalled cycles (+1 for the edge) but
+    // not an additional backlog drain on top.
+    EXPECT_LE(stalled, baseline + kStalls * (kStallLen + 1))
+        << "post-stall recovery paused intake beyond the stall";
+}
+
 TEST(Merger, FlushCountMatchesRunPairs)
 {
     const unsigned k = 4;

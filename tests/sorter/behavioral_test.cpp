@@ -123,6 +123,61 @@ TEST(Behavioral, UmbrellaHeaderCompiles)
     EXPECT_TRUE(isSorted(std::span<const Record>(data)));
 }
 
+/** Serial and threaded sorts must agree byte-for-byte (records, not
+ *  just keys) and report identical statistics — the Merge Path
+ *  determinism guarantee. */
+void
+checkThreadDeterminism(std::size_t n, unsigned ell, Distribution dist,
+                       std::uint64_t presort = 16)
+{
+    const auto input = makeRecords(n, dist, 17);
+    auto serial = input;
+    const auto serial_stats =
+        sorter::BehavioralSorter<Record>(ell, presort, 1).sort(serial);
+    for (unsigned threads : {2u, 3u, 8u}) {
+        auto parallel = input;
+        const auto stats =
+            sorter::BehavioralSorter<Record>(ell, presort, threads)
+                .sort(parallel);
+        EXPECT_EQ(stats, serial_stats) << "threads=" << threads;
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            ASSERT_EQ(parallel[i], serial[i])
+                << "record " << i << " threads=" << threads;
+        }
+    }
+    EXPECT_TRUE(isSorted(std::span<const Record>(serial)));
+}
+
+TEST(Behavioral, ThreadCountNeverChangesOutput)
+{
+    checkThreadDeterminism(120'000, 64, Distribution::UniformRandom);
+}
+
+TEST(Behavioral, ThreadDeterminismNonPowerOfTwoN)
+{
+    checkThreadDeterminism(100'003, 16, Distribution::UniformRandom);
+}
+
+TEST(Behavioral, ThreadDeterminismAllEqualKeys)
+{
+    // All-equal keys with distinct payloads is the adversarial case
+    // for merge partitioning: any tie-break drift across slices shows
+    // up as reordered payloads.
+    checkThreadDeterminism(50'000, 16, Distribution::AllEqual);
+}
+
+TEST(Behavioral, ThreadDeterminismFewDistinctKeys)
+{
+    checkThreadDeterminism(60'000, 16, Distribution::FewDistinct);
+}
+
+TEST(Behavioral, ThreadDeterminismWithoutPresorter)
+{
+    checkThreadDeterminism(30'000, 16, Distribution::UniformRandom,
+                           /*presort=*/1);
+}
+
 TEST(Behavioral, MatchesStdSort)
 {
     auto data = makeRecords(33'333, Distribution::UniformRandom, 5);

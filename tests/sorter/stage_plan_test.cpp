@@ -76,6 +76,26 @@ TEST(StagePlan, SingleRunPassThrough)
     EXPECT_EQ(out[0].length, 42u);
 }
 
+TEST(StagePlan, EmptyRunListTerminates)
+{
+    // Regression: spreadStride() looped forever on an empty run list
+    // (2 * stride * 0 <= ell never fails), hanging leafRuns() for any
+    // plan built from zero runs.
+    sorter::StagePlan plan({}, 8);
+    EXPECT_EQ(plan.groups(), 1u);
+    EXPECT_EQ(plan.spreadStride(), 1u);
+    for (unsigned j = 0; j < 8; ++j) {
+        const auto runs = plan.leafRuns(j);
+        ASSERT_EQ(runs.size(), 1u);
+        EXPECT_EQ(runs[0].length, 0u);
+    }
+    EXPECT_TRUE(plan.groupRuns(0).empty());
+    const auto out = plan.outputRuns();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].length, 0u);
+    EXPECT_EQ(plan.totalRecords(), 0u);
+}
+
 TEST(StagePlan, EveryInputRunAppearsInExactlyOneGroup)
 {
     const auto runs = chunkRuns(1000, 13); // 77 runs
