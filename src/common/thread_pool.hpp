@@ -15,7 +15,11 @@
  *
  * Guarantees:
  *  - every index in [0, count) is executed exactly once;
- *  - parallelFor() returns only after all indices have finished;
+ *  - parallelFor() returns only after all indices have finished AND
+ *    every worker that observed the job has left the claiming loop
+ *    (the active_ count below) — so a worker preempted between
+ *    reading the job and its first claim can never claim indices of
+ *    a later job or run a retired job's function;
  *  - a pool with threads() == 1 runs jobs inline with zero overhead
  *    (no workers are spawned);
  *  - jobs are data-race-free (TSan-clean): claiming is a single
@@ -101,7 +105,13 @@ class ThreadPool
         wake_.notify_all();
         runTasks(fn, count);
         std::unique_lock<std::mutex> lock(mutex_);
-        done_.wait(lock, [this] { return pending_ == 0; });
+        // Wait for all indices to finish AND all workers to leave
+        // runTasks.  pending_ == 0 alone is not enough: a worker that
+        // read this job but was preempted before its first claim
+        // would otherwise survive into the next job's index space,
+        // running this (by then dangling) fn against the next job's
+        // indices.
+        done_.wait(lock, [this] { return pending_ == 0 && active_ == 0; });
         fn_ = nullptr; // job retired; workers are back to waiting
     }
 
@@ -124,7 +134,7 @@ class ThreadPool
             return;
         std::lock_guard<std::mutex> lock(mutex_);
         pending_ -= finished;
-        if (pending_ == 0)
+        if (pending_ == 0 && active_ == 0)
             done_.notify_all();
     }
 
@@ -145,8 +155,15 @@ class ThreadPool
                 seen = generation_;
                 fn = fn_;
                 count = count_;
+                ++active_; // in runTasks from the caller's viewpoint
             }
             runTasks(*fn, count);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                --active_;
+                if (pending_ == 0 && active_ == 0)
+                    done_.notify_all();
+            }
         }
     }
 
@@ -159,6 +176,7 @@ class ThreadPool
     const std::function<void(std::uint64_t)> *fn_ = nullptr;
     std::uint64_t count_ = 0;
     std::uint64_t pending_ = 0;
+    std::uint64_t active_ = 0; ///< workers currently inside runTasks
     std::uint64_t generation_ = 0;
     std::atomic<std::uint64_t> next_{0}; ///< shared task index space
     bool stop_ = false;

@@ -73,6 +73,22 @@ class BehavioralSorter
     BehavioralStats
     sort(std::vector<RecordT> &data) const
     {
+        if (data.size() <= 1)
+            return {};
+        ThreadPool pool(threads_); // persists across all stages
+        return sort(data, pool);
+    }
+
+    /**
+     * Sort @p data in place on a caller-provided pool.  Lets callers
+     * that sort many buffers (the SSD sorter's phase-1 chunk loop)
+     * keep one pool alive across all of them instead of paying a
+     * worker spawn/join per call; @p pool's width overrides the
+     * constructor's thread count.
+     */
+    BehavioralStats
+    sort(std::vector<RecordT> &data, ThreadPool &pool) const
+    {
         BehavioralStats stats;
         if (data.size() <= 1)
             return stats;
@@ -81,7 +97,6 @@ class BehavioralSorter
         std::vector<RecordT> scratch(data.size());
         std::vector<RecordT> *src = &data;
         std::vector<RecordT> *dst = &scratch;
-        ThreadPool pool(threads_); // persists across all stages
         while (runs.size() > 1) {
             StagePlan plan(std::move(runs), ell_);
             runStage(plan, *src, *dst, pool);

@@ -35,6 +35,7 @@
 #include <cassert>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace bonsai::sorter
@@ -89,8 +90,13 @@ class MergePath
                 return cuts;
             }
         }
-        assert(false && "rank element not found");
-        return cuts;
+        // Unreachable when every input span is sorted under a
+        // consistent strict weak order; returning any cut vector from
+        // here would silently corrupt the merged output, so fail
+        // loudly in release builds too.
+        throw std::logic_error(
+            "MergePath: rank element not found (input span unsorted "
+            "or RecordT comparison inconsistent)");
     }
 
     /**

@@ -209,6 +209,10 @@ class SsdSorter
         report.plan = *plan;
 
         const auto start = std::chrono::steady_clock::now();
+        // One pool persists across both phases: phase 1 sorts many
+        // chunks back to back, and spawning/joining workers per chunk
+        // is exactly the churn the persistent pool exists to avoid.
+        ThreadPool pool(threads_);
         // Phase 1: sort DRAM-scale chunks independently.
         const std::uint64_t chunk = plan->chunkRecords == 0
             ? data.size() : plan->chunkRecords;
@@ -221,7 +225,7 @@ class SsdSorter
                 std::min<std::uint64_t>(chunk, data.size() - lo);
             std::vector<RecordT> piece(data.begin() + lo,
                                        data.begin() + lo + len);
-            phase1.sort(piece);
+            phase1.sort(piece, pool);
             std::copy(piece.begin(), piece.end(), data.begin() + lo);
             runs.push_back(RunSpan{lo, len});
         }
@@ -230,7 +234,6 @@ class SsdSorter
         // stage executor so wide merges are Merge Path sliced too.
         const BehavioralSorter<RecordT> phase2(
             plan->phase2.config.ell, 1, threads_);
-        ThreadPool pool(threads_);
         std::vector<RecordT> scratch(data.size());
         std::vector<RecordT> *src = &data;
         std::vector<RecordT> *dst = &scratch;

@@ -86,6 +86,25 @@ TEST(ThreadPool, FewerTasksThanThreads)
     EXPECT_EQ(count.load(), 2);
 }
 
+TEST(ThreadPool, StaleWorkerCannotClaimIntoNextJob)
+{
+    // Regression: a worker that read a job but was preempted before
+    // its first claim must not survive into the next job's index
+    // space (running the retired fn against the new job's indices).
+    // Tiny back-to-back jobs maximize that window; each job's fn
+    // writes to a fresh per-job counter, so a stale claim shows up
+    // as a lost index (or a use-after-scope the sanitizers catch).
+    ThreadPool pool(8);
+    for (int job = 0; job < 3000; ++job) {
+        const std::uint64_t count = job % 3 + 1;
+        std::atomic<std::uint64_t> hits{0};
+        pool.parallelFor(count, [&](std::uint64_t) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+        });
+        ASSERT_EQ(hits.load(), count) << "job " << job;
+    }
+}
+
 TEST(ThreadPool, DestructionWithNoJobsIsClean)
 {
     ThreadPool pool(8); // construct + destruct with idle workers
