@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Project-specific style gate (no external tools required).
+
+Rules enforced over src/ (and, where noted, tests/):
+
+  1. Header guards: every src header's include guard must be derived
+     from its repo-relative path (src/sim/fifo.hpp ->
+     BONSAI_SIM_FIFO_HPP), with matching #define and a trailing
+     "#endif // GUARD" comment.
+  2. Concurrency primitives: std::thread and std::this_thread are
+     confined to common/thread_pool.hpp; everything else goes through
+     bonsai::ThreadPool so the simulator has one choke point for
+     threading behavior.
+  3. Deterministic randomness: rand()/srand()/time() are banned
+     outside common/random.hpp|.cpp; simulations must be reproducible
+     from an explicit seed.
+  4. No <iostream> in library headers: pulling the global stream
+     objects into every translation unit costs init order and compile
+     time; headers needing stream types use <ostream>/<istream>.
+  5. No raw assert() in src/: contract macros (BONSAI_REQUIRE /
+     ENSURE / INVARIANT) replace it, so checks can ride into
+     optimized builds via -DBONSAI_CHECKED=ON.
+
+Exit status 0 when clean, 1 with a per-violation report otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+THREAD_ALLOWED = {"src/common/thread_pool.hpp"}
+RANDOM_ALLOWED = {"src/common/random.hpp", "src/common/random.cpp"}
+
+THREAD_RE = re.compile(r"\bstd::(this_)?thread\b")
+RANDOM_RE = re.compile(r"(?<![\w:.])(?:s?rand|time)\s*\(")
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+IOSTREAM_RE = re.compile(r'#\s*include\s*[<"]iostream[>"]')
+
+
+def guard_for(rel: Path) -> str:
+    """src/sim/fifo.hpp -> BONSAI_SIM_FIFO_HPP."""
+    parts = rel.with_suffix("").parts[1:]  # drop leading "src"
+    return "BONSAI_" + "_".join(p.upper() for p in parts) + "_HPP"
+
+
+def strip_comments(text: str) -> str:
+    """Remove // and /* */ comments (keeps line structure)."""
+    text = re.sub(r"/\*.*?\*/", lambda m: "\n" * m.group().count("\n"),
+                  text, flags=re.S)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def check_header_guard(rel: Path, text: str, problems: list) -> None:
+    guard = guard_for(rel)
+    if f"#ifndef {guard}" not in text:
+        problems.append(f"{rel}: missing '#ifndef {guard}'")
+        return
+    if f"#define {guard}" not in text:
+        problems.append(f"{rel}: missing '#define {guard}'")
+    if f"#endif // {guard}" not in text:
+        problems.append(f"{rel}: missing '#endif // {guard}' trailer")
+
+
+def scan(path: Path, problems: list) -> None:
+    rel = path.relative_to(REPO)
+    rel_str = rel.as_posix()
+    raw = path.read_text(encoding="utf-8")
+    text = strip_comments(raw)
+    lines = text.splitlines()
+
+    if path.suffix == ".hpp":
+        check_header_guard(rel, raw, problems)
+        for i, line in enumerate(lines, 1):
+            if IOSTREAM_RE.search(line):
+                problems.append(
+                    f"{rel_str}:{i}: <iostream> in a library header "
+                    "(use <ostream>/<istream>)")
+
+    for i, line in enumerate(lines, 1):
+        if rel_str not in THREAD_ALLOWED and THREAD_RE.search(line):
+            problems.append(
+                f"{rel_str}:{i}: std::thread outside "
+                "common/thread_pool.hpp (use bonsai::ThreadPool)")
+        if rel_str not in RANDOM_ALLOWED and RANDOM_RE.search(line):
+            problems.append(
+                f"{rel_str}:{i}: rand()/srand()/time() outside "
+                "common/random.* (use the seeded RNG)")
+        if "static_assert" not in line and ASSERT_RE.search(line):
+            problems.append(
+                f"{rel_str}:{i}: raw assert() (use BONSAI_REQUIRE/"
+                "ENSURE/INVARIANT from common/contract.hpp)")
+
+
+def main() -> int:
+    problems: list = []
+    files = sorted(
+        p for p in SRC.rglob("*")
+        if p.suffix in (".hpp", ".cpp") and p.is_file())
+    if not files:
+        print("check_style: no sources found under src/", file=sys.stderr)
+        return 1
+    for path in files:
+        scan(path, problems)
+    if problems:
+        print(f"check_style: {len(problems)} violation(s):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"check_style: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

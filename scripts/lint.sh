@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Lint gate: project style rules + (when the tools exist) clang-tidy
+# and clang-format.
+#
+# Usage: scripts/lint.sh [--strict] [build-dir]
+#
+#   --strict    missing clang tools are an error instead of a skip
+#               (CI installs them; developer boxes may not have them).
+#   build-dir   CMake build directory containing compile_commands.json
+#               (default: build).
+#
+# Exit 0 = clean. The python style checker always runs; clang-tidy
+# needs a configured build dir (CMAKE_EXPORT_COMPILE_COMMANDS is on by
+# default in CMakeLists.txt).
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+strict=0
+build_dir=build
+for arg in "$@"; do
+    case "$arg" in
+    --strict) strict=1 ;;
+    *) build_dir="$arg" ;;
+    esac
+done
+
+failures=0
+skipped=0
+
+note() { printf '%s\n' "$*"; }
+
+require_tool() {
+    local tool="$1"
+    if command -v "$tool" >/dev/null 2>&1; then
+        return 0
+    fi
+    if [ "$strict" -eq 1 ]; then
+        note "lint: $tool not found (required in --strict mode)"
+        failures=$((failures + 1))
+    else
+        note "lint: $tool not found, skipping (install it or use CI)"
+        skipped=$((skipped + 1))
+    fi
+    return 1
+}
+
+# 1. Project style rules (pure python, always available).
+note "lint: running scripts/check_style.py"
+if ! python3 scripts/check_style.py; then
+    failures=$((failures + 1))
+fi
+
+# 2. clang-tidy over the compilation database.
+if require_tool clang-tidy; then
+    if [ ! -f "$build_dir/compile_commands.json" ]; then
+        note "lint: $build_dir/compile_commands.json missing;" \
+             "configure with cmake -B $build_dir -S . first"
+        failures=$((failures + 1))
+    else
+        note "lint: running clang-tidy"
+        mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+        if ! clang-tidy -p "$build_dir" --quiet "${tidy_sources[@]}"; then
+            failures=$((failures + 1))
+        fi
+    fi
+fi
+
+# 3. clang-format (check-only; never rewrites).
+if require_tool clang-format; then
+    note "lint: running clang-format --dry-run"
+    mapfile -t fmt_sources < \
+        <(find src tests -name '*.hpp' -o -name '*.cpp' | sort)
+    if ! clang-format --dry-run --Werror "${fmt_sources[@]}"; then
+        failures=$((failures + 1))
+    fi
+fi
+
+if [ "$failures" -ne 0 ]; then
+    note "lint: FAILED ($failures check(s) failed, $skipped skipped)"
+    exit 1
+fi
+note "lint: OK ($skipped check(s) skipped)"
+exit 0

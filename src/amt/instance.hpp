@@ -4,6 +4,13 @@
  * — mergers, couplers and inter-level FIFOs — wired per the structural
  * TreeShape, exposing the ell leaf buffers (filled by a DataLoader) and
  * the root output FIFO (drained by a DataWriter).
+ *
+ * With `checked` enabled the instance also wires a sim::ProtocolChecker
+ * over every channel: each FIFO is monitored for over-push/under-pop,
+ * sorted-run monotonicity and terminal counts, and every merger's
+ * quiescent() claim is cross-checked against its observed traffic.  The
+ * checker runs every cycle, so a broken stream contract surfaces at the
+ * offending cycle instead of as wrong output at the end of a stage.
  */
 
 #ifndef BONSAI_AMT_INSTANCE_HPP
@@ -14,10 +21,12 @@
 #include <vector>
 
 #include "amt/tree.hpp"
+#include "common/contract.hpp"
 #include "hw/coupler.hpp"
 #include "hw/merger.hpp"
 #include "sim/engine.hpp"
 #include "sim/fifo.hpp"
+#include "sim/protocol_checker.hpp"
 
 namespace bonsai::amt
 {
@@ -30,17 +39,28 @@ class AmtInstance
      * @param shape Structural description from makeTreeShape().
      * @param leaf_capacity Leaf buffer capacity in records (the data
      *        loader's double-buffered batch store, Section V-A).
+     * @param checked Wire a ProtocolChecker over every channel.
      */
     AmtInstance(std::string name, const TreeShape &shape,
-                std::size_t leaf_capacity)
+                std::size_t leaf_capacity, bool checked = false)
         : shape_(shape)
     {
+        BONSAI_REQUIRE(!shape.levels.empty(),
+                       "tree shape must have at least one level");
+        BONSAI_REQUIRE(leaf_capacity > 0,
+                       "leaf buffers must hold at least one record");
+        if (checked)
+            checker_ = std::make_unique<sim::ProtocolChecker>(
+                name + ".check");
+
         const unsigned depth_count =
             static_cast<unsigned>(shape.levels.size());
 
         // Leaf buffers, one per tree input.
-        for (unsigned i = 0; i < shape.ell; ++i)
-            leafBuffers_.push_back(makeFifo(leaf_capacity));
+        for (unsigned i = 0; i < shape.ell; ++i) {
+            leafBuffers_.push_back(makeFifo(
+                name + ".leaf" + std::to_string(i), leaf_capacity));
+        }
 
         // Build levels deepest-first so children exist before parents.
         // outputs[d][i] is the output FIFO of merger (d, i).
@@ -50,6 +70,8 @@ class AmtInstance
             const TreeLevel &lvl = shape.levels[d];
             outputs[d].resize(lvl.nodeCount);
             for (unsigned i = 0; i < lvl.nodeCount; ++i) {
+                const std::string node = std::to_string(d) + "_" +
+                    std::to_string(i);
                 sim::Fifo<RecordT> *in_a = nullptr;
                 sim::Fifo<RecordT> *in_b = nullptr;
                 if (d + 1 == depth_count) {
@@ -59,18 +81,25 @@ class AmtInstance
                     // Couplers adapt each child's stream to this
                     // merger's input port.
                     const TreeLevel &child = shape.levels[d + 1];
-                    in_a = makeFifo(fifoDepth(lvl.mergerK));
-                    in_b = makeFifo(fifoDepth(lvl.mergerK));
+                    in_a = makeFifo(name + ".port" + node + "a",
+                                    fifoDepth(lvl.mergerK));
+                    in_b = makeFifo(name + ".port" + node + "b",
+                                    fifoDepth(lvl.mergerK));
                     addCoupler(name, d, 2 * i, child.mergerK,
                                *outputs[d + 1][2 * i], *in_a);
                     addCoupler(name, d, 2 * i + 1, child.mergerK,
                                *outputs[d + 1][2 * i + 1], *in_b);
                 }
-                outputs[d][i] = makeFifo(fifoDepth(lvl.mergerK));
+                outputs[d][i] = makeFifo(name + ".out" + node,
+                                         fifoDepth(lvl.mergerK));
                 auto merger = std::make_unique<hw::Merger<RecordT>>(
-                    name + ".m" + std::to_string(d) + "_" +
-                        std::to_string(i),
-                    lvl.mergerK, *in_a, *in_b, *outputs[d][i]);
+                    name + ".m" + node, lvl.mergerK, *in_a, *in_b,
+                    *outputs[d][i]);
+                if (checker_) {
+                    checker_->watchQuiescence<RecordT>(
+                        *merger, {in_a, in_b},
+                        {monitors_.back()});
+                }
                 mergers_.push_back(merger.get());
                 components_.push_back(std::move(merger));
             }
@@ -88,10 +117,14 @@ class AmtInstance
     /** Root output FIFO (runs separated by terminals). */
     sim::Fifo<RecordT> &rootOutput() { return *root_; }
 
-    /** Register every component with the engine. */
+    /** Register every component with the engine.  The checker (when
+     *  present) registers first so its clock leads the components it
+     *  observes within each cycle. */
     void
     registerWith(sim::SimEngine &engine)
     {
+        if (checker_)
+            engine.add(checker_.get());
         for (auto &c : components_)
             engine.add(c.get());
     }
@@ -117,6 +150,32 @@ class AmtInstance
         return total;
     }
 
+    /**
+     * Declare the number of runs (= terminal records) every channel
+     * carries this stage: the stage plan pads each leaf to exactly G
+     * runs, each merger pairs and re-emits them, so every channel in
+     * the tree sees exactly G terminals.  No-op when unchecked.
+     */
+    void
+    expectRunsPerChannel(std::uint64_t runs)
+    {
+        if (!checker_)
+            return;
+        for (sim::ChannelMonitor<RecordT> *monitor : monitors_)
+            monitor->expectTerminals(runs);
+    }
+
+    /** The wired protocol checker, or nullptr when unchecked. */
+    sim::ProtocolChecker *checker() { return checker_.get(); }
+
+    /** Verify end-of-stage protocol state (no-op when unchecked). */
+    void
+    finalizeChecks() const
+    {
+        if (checker_)
+            checker_->finalize();
+    }
+
     const TreeShape &shape() const { return shape_; }
 
   private:
@@ -130,11 +189,18 @@ class AmtInstance
     }
 
     sim::Fifo<RecordT> *
-    makeFifo(std::size_t capacity)
+    makeFifo(const std::string &channel_name, std::size_t capacity)
     {
         fifos_.push_back(
             std::make_unique<sim::Fifo<RecordT>>(capacity));
-        return fifos_.back().get();
+        sim::Fifo<RecordT> *fifo = fifos_.back().get();
+        if (checker_) {
+            monitors_.push_back(&checker_->watch(
+                channel_name, *fifo, sim::ChannelKind::SortedRuns));
+        } else {
+            monitors_.push_back(nullptr);
+        }
+        return fifo;
     }
 
     void
@@ -149,7 +215,10 @@ class AmtInstance
     }
 
     TreeShape shape_;
+    std::unique_ptr<sim::ProtocolChecker> checker_;
     std::vector<std::unique_ptr<sim::Fifo<RecordT>>> fifos_;
+    /** One entry per fifos_ element; null when unchecked. */
+    std::vector<sim::ChannelMonitor<RecordT> *> monitors_;
     std::vector<std::unique_ptr<sim::Component>> components_;
     std::vector<hw::Merger<RecordT> *> mergers_;
     std::vector<sim::Fifo<RecordT> *> leafBuffers_;

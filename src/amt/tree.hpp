@@ -9,9 +9,10 @@
 #ifndef BONSAI_AMT_TREE_HPP
 #define BONSAI_AMT_TREE_HPP
 
-#include <cassert>
 #include <cstdint>
 #include <vector>
+
+#include "common/contract.hpp"
 
 #include "hw/bitonic.hpp"
 
@@ -57,8 +58,9 @@ struct TreeShape
 inline TreeShape
 makeTreeShape(unsigned p, unsigned ell)
 {
-    assert(hw::isPow2(p));
-    assert(hw::isPow2(ell) && ell >= 2);
+    BONSAI_REQUIRE(hw::isPow2(p), "tree throughput p must be a power of two");
+    BONSAI_REQUIRE(hw::isPow2(ell) && ell >= 2,
+                   "leaf count ell must be a power of two >= 2");
     TreeShape shape;
     shape.p = p;
     shape.ell = ell;

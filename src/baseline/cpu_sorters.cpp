@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
-#include <thread>
 
 #include "common/random.hpp"
+#include "common/thread_pool.hpp"
 
 namespace bonsai::baseline
 {
@@ -20,23 +19,7 @@ constexpr std::size_t kInsertionCutoff = 64;
 unsigned
 resolveThreads(unsigned threads)
 {
-    if (threads != 0)
-        return threads;
-    const unsigned hc = std::thread::hardware_concurrency();
-    return hc == 0 ? 4 : hc;
-}
-
-/** Run f(t) on @p threads workers and join. */
-template <typename F>
-void
-parallelFor(unsigned threads, F &&f)
-{
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t)
-        workers.emplace_back(f, t);
-    for (std::thread &w : workers)
-        w.join();
+    return threads != 0 ? threads : ThreadPool::defaultThreads();
 }
 
 std::uint8_t
@@ -89,19 +72,14 @@ msdRadixRecurse(Record *data, std::size_t n, unsigned byte,
         return;
 
     if (depth_threads > 1) {
-        // Parallel recursion: buckets are independent; hand them to a
-        // worker pool sized by the remaining parallelism budget.
-        std::atomic<std::size_t> next{0};
-        parallelFor(depth_threads, [&](unsigned) {
-            for (;;) {
-                const std::size_t b =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (b >= kRadixBuckets)
-                    return;
-                if (count[b] > 1) {
-                    msdRadixRecurse(data + head[b], count[b], byte - 1,
-                                    1);
-                }
+        // Parallel recursion: buckets are independent; the pool's
+        // work-stealing index space load-balances the skewed bucket
+        // sizes across the parallelism budget.
+        ThreadPool pool(depth_threads);
+        pool.parallelFor(kRadixBuckets, [&](std::uint64_t b) {
+            if (count[b] > 1) {
+                msdRadixRecurse(data + head[b], count[b], byte - 1,
+                                1);
             }
         });
     } else {
@@ -188,10 +166,12 @@ sampleSortCpu(std::vector<Record> &data, unsigned buckets,
             splitters.begin());
     };
 
-    // Parallel classification into per-thread, per-bucket lists.
+    // Parallel classification into per-task, per-bucket lists (one
+    // pool reused for both passes).
+    ThreadPool pool(threads);
     std::vector<std::vector<std::vector<Record>>> parts(
         threads, std::vector<std::vector<Record>>(buckets));
-    parallelFor(threads, [&](unsigned t) {
+    pool.parallelFor(threads, [&](std::uint64_t t) {
         const std::size_t lo = t * n / threads;
         const std::size_t hi = (t + 1) * n / threads;
         for (std::size_t i = lo; i < hi; ++i)
@@ -206,22 +186,15 @@ sampleSortCpu(std::vector<Record> &data, unsigned buckets,
             size += parts[t][b].size();
         offsets[b + 1] = offsets[b] + size;
     }
-    std::atomic<unsigned> next{0};
-    parallelFor(threads, [&](unsigned) {
-        for (;;) {
-            const unsigned b =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (b >= buckets)
-                return;
-            std::size_t pos = offsets[b];
-            for (unsigned t = 0; t < threads; ++t) {
-                std::copy(parts[t][b].begin(), parts[t][b].end(),
-                          data.begin() + pos);
-                pos += parts[t][b].size();
-            }
-            std::sort(data.begin() + offsets[b],
-                      data.begin() + offsets[b + 1]);
+    pool.parallelFor(buckets, [&](std::uint64_t b) {
+        std::size_t pos = offsets[b];
+        for (unsigned t = 0; t < threads; ++t) {
+            std::copy(parts[t][b].begin(), parts[t][b].end(),
+                      data.begin() + pos);
+            pos += parts[t][b].size();
         }
+        std::sort(data.begin() + offsets[b],
+                  data.begin() + offsets[b + 1]);
     });
 }
 

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Contract checking: preconditions, postconditions and invariants.
+ *
+ * The simulator's correctness rests on a web of stream contracts that
+ * the code used to state only in comments ("the caller must have
+ * checked freeSpace()").  These macros turn those sentences into
+ * machine-checked claims:
+ *
+ *  - BONSAI_REQUIRE(cond, msg)   — precondition on the caller;
+ *  - BONSAI_ENSURE(cond, msg)    — postcondition on the callee;
+ *  - BONSAI_INVARIANT(cond, msg) — internal consistency of a data
+ *    structure or algorithm step.
+ *
+ * A failed check throws bonsai::ContractViolation (a std::logic_error)
+ * carrying the kind, the stringified expression, the source location
+ * and the message, so a violation surfaces at the offending call
+ * instead of as corrupt output megabytes later.
+ *
+ * Checked builds: the macros are compiled in when BONSAI_CHECKED is
+ * nonzero.  By default that follows the build type (on unless NDEBUG,
+ * i.e. on in Debug, off in Release); the CMake option -DBONSAI_CHECKED=ON
+ * forces checking into optimized builds so the full test suite can run
+ * under verification at speed.  When compiled out a check costs
+ * nothing — the condition is not evaluated.
+ */
+
+#ifndef BONSAI_COMMON_CONTRACT_HPP
+#define BONSAI_COMMON_CONTRACT_HPP
+
+#include <stdexcept>
+#include <string>
+
+#if !defined(BONSAI_CHECKED)
+#if defined(NDEBUG)
+#define BONSAI_CHECKED 0
+#else
+#define BONSAI_CHECKED 1
+#endif
+#endif
+
+namespace bonsai
+{
+
+/** Thrown when a BONSAI_REQUIRE / ENSURE / INVARIANT check fails. */
+class ContractViolation : public std::logic_error
+{
+  public:
+    ContractViolation(const char *kind, const char *expression,
+                      const char *file, long line,
+                      const std::string &message)
+        : std::logic_error(std::string(kind) + " violated: " + message +
+                           " [" + expression + "] at " + file + ":" +
+                           std::to_string(line)),
+          kind_(kind), expression_(expression), file_(file), line_(line)
+    {
+    }
+
+    /** "precondition", "postcondition" or "invariant". */
+    const char *kind() const { return kind_; }
+    /** The stringified failing expression. */
+    const char *expression() const { return expression_; }
+    const char *file() const { return file_; }
+    long line() const { return line_; }
+
+  private:
+    const char *kind_;
+    const char *expression_;
+    const char *file_;
+    long line_;
+};
+
+namespace contracts
+{
+
+/** True when contract checks are compiled into this build. */
+constexpr bool
+enabled()
+{
+    return BONSAI_CHECKED != 0;
+}
+
+/** Throw a ContractViolation (out of line of the check macro). */
+[[noreturn]] inline void
+fail(const char *kind, const char *expression, const char *file,
+     long line, const std::string &message)
+{
+    throw ContractViolation(kind, expression, file, line, message);
+}
+
+} // namespace contracts
+} // namespace bonsai
+
+#if BONSAI_CHECKED
+#define BONSAI_CONTRACT_CHECK_(kind, cond, msg)                          \
+    do {                                                                 \
+        if (!(cond))                                                     \
+            ::bonsai::contracts::fail(kind, #cond, __FILE__, __LINE__,   \
+                                      msg);                              \
+    } while (false)
+#else
+#define BONSAI_CONTRACT_CHECK_(kind, cond, msg)                          \
+    do {                                                                 \
+    } while (false)
+#endif
+
+/** Precondition: what the caller owes the callee. */
+#define BONSAI_REQUIRE(cond, msg)                                        \
+    BONSAI_CONTRACT_CHECK_("precondition", cond, msg)
+
+/** Postcondition: what the callee owes the caller. */
+#define BONSAI_ENSURE(cond, msg)                                         \
+    BONSAI_CONTRACT_CHECK_("postcondition", cond, msg)
+
+/** Internal consistency that must hold at this point. */
+#define BONSAI_INVARIANT(cond, msg)                                      \
+    BONSAI_CONTRACT_CHECK_("invariant", cond, msg)
+
+#endif // BONSAI_COMMON_CONTRACT_HPP

@@ -42,12 +42,23 @@
 #include <thread>
 #include <vector>
 
+#include "common/contract.hpp"
+
 namespace bonsai
 {
 
 class ThreadPool
 {
   public:
+    /** Execution width to use when the caller doesn't care: the
+     *  hardware concurrency, with a small fallback when unknown. */
+    static unsigned
+    defaultThreads()
+    {
+        const unsigned hc = std::thread::hardware_concurrency();
+        return hc == 0 ? 4 : hc;
+    }
+
     /**
      * @param threads Total execution width, including the thread that
      *        calls parallelFor(); the pool spawns threads-1 workers.
@@ -113,6 +124,8 @@ class ThreadPool
         // indices.
         done_.wait(lock, [this] { return pending_ == 0 && active_ == 0; });
         fn_ = nullptr; // job retired; workers are back to waiting
+        BONSAI_ENSURE(next_.load(std::memory_order_relaxed) >= count,
+                      "every task index must have been claimed");
     }
 
   private:

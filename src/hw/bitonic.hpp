@@ -19,10 +19,11 @@
 #ifndef BONSAI_HW_BITONIC_HPP
 #define BONSAI_HW_BITONIC_HPP
 
-#include <cassert>
 #include <cstdint>
 #include <span>
 #include <utility>
+
+#include "common/contract.hpp"
 
 namespace bonsai::hw
 {
@@ -38,7 +39,7 @@ isPow2(std::uint64_t n)
 constexpr unsigned
 log2Exact(std::uint64_t n)
 {
-    assert(isPow2(n));
+    BONSAI_REQUIRE(isPow2(n), "log2Exact needs a power of two");
     unsigned l = 0;
     while (n > 1) {
         n >>= 1;
@@ -66,7 +67,7 @@ void
 bitonicMergeNetwork(std::span<RecordT> data)
 {
     const std::size_t n = data.size();
-    assert(isPow2(n));
+    BONSAI_REQUIRE(isPow2(n), "merge network width must be a power of two");
     for (std::size_t stride = n / 2; stride >= 1; stride /= 2) {
         for (std::size_t i = 0; i < n; ++i) {
             if ((i & stride) == 0)
@@ -86,7 +87,8 @@ void
 mergeSortedHalves(std::span<RecordT> data)
 {
     const std::size_t n = data.size();
-    assert(isPow2(n) && n >= 2);
+    BONSAI_REQUIRE(isPow2(n) && n >= 2,
+                   "half-merge needs a power-of-two width >= 2");
     for (std::size_t i = 0; i < n / 4; ++i)
         std::swap(data[n / 2 + i], data[n - 1 - i]);
     bitonicMergeNetwork(data);
@@ -101,7 +103,7 @@ void
 bitonicSortNetwork(std::span<RecordT> data)
 {
     const std::size_t n = data.size();
-    assert(isPow2(n));
+    BONSAI_REQUIRE(isPow2(n), "sort network width must be a power of two");
     for (std::size_t block = 2; block <= n; block *= 2) {
         // Descending/ascending alternation realised by direction bit.
         for (std::size_t stride = block / 2; stride >= 1; stride /= 2) {
@@ -128,7 +130,7 @@ bitonicSortNetwork(std::span<RecordT> data)
 constexpr std::uint64_t
 casCountHalfMerger(std::uint64_t k)
 {
-    assert(isPow2(k));
+    BONSAI_REQUIRE(isPow2(k), "half-merger width must be a power of two");
     return k * log2Exact(2 * k);
 }
 
@@ -136,7 +138,7 @@ casCountHalfMerger(std::uint64_t k)
 constexpr std::uint64_t
 casCountSorter(std::uint64_t n)
 {
-    assert(isPow2(n));
+    BONSAI_REQUIRE(isPow2(n), "sorter width must be a power of two");
     const std::uint64_t stages =
         log2Exact(n) * (log2Exact(n) + 1) / 2;
     return stages * (n / 2);
@@ -147,7 +149,7 @@ casCountSorter(std::uint64_t n)
 constexpr std::uint64_t
 mergerLatency(std::uint64_t k)
 {
-    assert(isPow2(k));
+    BONSAI_REQUIRE(isPow2(k), "merger width must be a power of two");
     return 2 * log2Exact(2 * k);
 }
 

@@ -20,12 +20,12 @@
 #ifndef BONSAI_HW_DATA_LOADER_HPP
 #define BONSAI_HW_DATA_LOADER_HPP
 
-#include <cassert>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "common/run.hpp"
 #include "hw/bitonic.hpp"
 #include "mem/timing.hpp"
@@ -76,15 +76,26 @@ class DataLoader : public sim::Component
           busRecordsPerCycle_(std::max<std::uint64_t>(
               bus_bytes_per_cycle / record_bytes, 1))
     {
-        assert(batch_records > 0);
+        BONSAI_REQUIRE(batch_records > 0,
+                       "read batch must cover at least one record");
         // The presorter network sorts chunks as they stream by; a
         // chunk split across batches would be silently mis-sorted.
-        assert(presort_chunk == 0 || presort_chunk <= batch_records);
-        assert(presort_chunk == 0 ||
-               batch_records % presort_chunk == 0);
+        BONSAI_REQUIRE(presort_chunk == 0 ||
+                           presort_chunk <= batch_records,
+                       "presort chunk must fit within one batch");
+        BONSAI_REQUIRE(presort_chunk == 0 ||
+                           batch_records % presort_chunk == 0,
+                       "batches must hold whole presort chunks");
         leaves_.reserve(feeds.size());
         for (LeafFeed &feed : feeds) {
-            assert(feed.buffer != nullptr);
+            BONSAI_REQUIRE(feed.buffer != nullptr,
+                           "every leaf feed needs a buffer");
+            // canIssue() waits for 2*batch+2 free records; a smaller
+            // buffer would never accept a batch and deadlock the tree.
+            BONSAI_REQUIRE(feed.buffer->capacity() >=
+                               2 * batch_records + 2,
+                           "leaf buffer must hold two batches plus "
+                           "terminals");
             leaves_.push_back(LeafState{std::move(feed), {}, 0, 0, 0,
                                         mem::MemoryTiming::kInvalidTicket});
         }

@@ -9,13 +9,13 @@
 #ifndef BONSAI_HW_DATA_WRITER_HPP
 #define BONSAI_HW_DATA_WRITER_HPP
 
-#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "common/run.hpp"
 #include "mem/timing.hpp"
 #include "sim/component.hpp"
@@ -48,7 +48,9 @@ class DataWriter : public sim::Component
           expectedRuns_(expected_runs), batchRecords_(batch_records),
           baseAddr_(base_addr), recordBytes_(record_bytes)
     {
-        assert(dest.size() >= expected_records);
+        BONSAI_REQUIRE(dest.size() >= expected_records,
+                       "destination buffer smaller than the stage "
+                       "output");
         runs_.push_back(RunSpan{0, 0});
     }
 
@@ -107,7 +109,9 @@ class DataWriter : public sim::Component
                     runs_.push_back(RunSpan{written_, 0});
                 continue;
             }
-            assert(written_ < expectedRecords_);
+            BONSAI_INVARIANT(written_ < expectedRecords_,
+                             "tree delivered more records than the "
+                             "stage plan promised");
             dest_[written_] = r;
             ++written_;
             ++runs_.back().length;

@@ -25,10 +25,10 @@
 #define BONSAI_HW_MERGER_HPP
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "hw/bitonic.hpp"
 #include "sim/component.hpp"
 #include "sim/fifo.hpp"
@@ -51,7 +51,11 @@ class Merger : public sim::Component
         : Component(std::move(name)), k_(k), inA_(in_a), inB_(in_b),
           out_(out), latency_(mergerLatency(k))
     {
-        assert(isPow2(k));
+        BONSAI_REQUIRE(isPow2(k), "merger width k must be a power of two");
+        // A flush of a full accumulator plus a terminal must always be
+        // able to leave the network, or the tree deadlocks.
+        BONSAI_REQUIRE(out.capacity() >= 2 * (std::size_t{k} + 1),
+                       "output FIFO must hold at least 2*(k+1) records");
         acc_.reserve(2 * k);
         scratch_.reserve(2 * k);
     }
@@ -190,6 +194,8 @@ class Merger : public sim::Component
         g.ready = now + latency_;
         g.records.assign(scratch_.begin(), scratch_.begin() + emit);
         acc_.assign(scratch_.begin() + emit, scratch_.end());
+        BONSAI_INVARIANT(acc_.size() <= k_,
+                         "accumulator never exceeds k records");
         if (!g.records.empty())
             pipeline_.push_back(std::move(g));
     }

@@ -18,9 +18,9 @@
 #ifndef BONSAI_HW_PACKER_HPP
 #define BONSAI_HW_PACKER_HPP
 
-#include <cassert>
 #include <string>
 
+#include "common/contract.hpp"
 #include "sim/component.hpp"
 #include "sim/fifo.hpp"
 
@@ -41,7 +41,8 @@ class Unpacker : public sim::Component
         : Component(std::move(name)),
           recordsPerWord_(records_per_word), in_(in), out_(out)
     {
-        assert(records_per_word >= 1);
+        BONSAI_REQUIRE(records_per_word >= 1,
+                       "a word carries at least one record");
     }
 
     void
@@ -85,7 +86,8 @@ class Packer : public sim::Component
         : Component(std::move(name)),
           recordsPerWord_(records_per_word), in_(in), out_(out)
     {
-        assert(records_per_word >= 1);
+        BONSAI_REQUIRE(records_per_word >= 1,
+                       "a word carries at least one record");
     }
 
     void

@@ -13,9 +13,10 @@
 #ifndef BONSAI_HW_PRESORTER_HPP
 #define BONSAI_HW_PRESORTER_HPP
 
-#include <cassert>
 #include <string>
 #include <vector>
+
+#include "common/contract.hpp"
 
 #include "hw/bitonic.hpp"
 #include "sim/component.hpp"
@@ -39,7 +40,8 @@ class Presorter : public sim::Component
         : Component(std::move(name)), width_(width), chunk_(chunk),
           in_(in), out_(out), appendTerminals_(append_terminals)
     {
-        assert(isPow2(chunk));
+        BONSAI_REQUIRE(isPow2(chunk),
+                       "presort chunk must be a power of two");
         pending_.reserve(chunk);
     }
 

@@ -13,12 +13,12 @@
 #ifndef BONSAI_MEM_TIMING_HPP
 #define BONSAI_MEM_TIMING_HPP
 
-#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <string>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "sim/component.hpp"
 
 namespace bonsai::mem
@@ -62,8 +62,9 @@ class MemoryTiming : public sim::Component
         : Component(std::move(name)), cfg_(cfg),
           banks_(cfg.numBanks)
     {
-        assert(cfg.numBanks > 0);
-        assert(cfg.bankBytesPerCycle > 0.0);
+        BONSAI_REQUIRE(cfg.numBanks > 0, "need at least one bank");
+        BONSAI_REQUIRE(cfg.bankBytesPerCycle > 0.0,
+                       "bank service rate must be positive");
     }
 
     /** Enqueue a batched read of @p bytes at @p addr. */
@@ -86,7 +87,8 @@ class MemoryTiming : public sim::Component
     bool
     complete(Ticket t) const
     {
-        assert(t != kInvalidTicket && t <= nextTicket_);
+        BONSAI_REQUIRE(t != kInvalidTicket && t <= nextTicket_,
+                       "unknown transfer ticket");
         return completed_[t - 1];
     }
 

@@ -7,26 +7,53 @@
  * pushing and consumers check size() before popping, which is how
  * back-pressure (AMT stalls on empty input buffers, Section V-A) arises
  * in the simulation.
+ *
+ * The caller-checks discipline is enforced: push on a full channel and
+ * pop/front/peek past the buffered contents are contract violations
+ * (silently growing past capacity would falsify every back-pressure
+ * measurement downstream).  An optional FifoObserver receives every
+ * push and pop before it takes effect — the hook the protocol checker
+ * (sim/protocol_checker.hpp) uses to watch stream invariants per
+ * channel without changing component code.
  */
 
 #ifndef BONSAI_SIM_FIFO_HPP
 #define BONSAI_SIM_FIFO_HPP
 
-#include <cassert>
 #include <cstddef>
 #include <deque>
+
+#include "common/contract.hpp"
 
 namespace bonsai::sim
 {
 
 template <typename T>
+class Fifo;
+
+/**
+ * Passive observer of one channel's traffic.  Callbacks run before the
+ * operation mutates the FIFO, so the observer sees the pre-state (a
+ * full FIFO in onPush is a protocol violation it can report with
+ * channel context that the FIFO itself doesn't have).
+ */
+template <typename T>
+class FifoObserver
+{
+  public:
+    virtual ~FifoObserver() = default;
+    virtual void onPush(const Fifo<T> &fifo, const T &item) = 0;
+    virtual void onPop(const Fifo<T> &fifo) = 0;
+};
+
+template <typename T>
 class Fifo
 {
   public:
-    /** @param capacity Maximum number of elements held. */
+    /** @param capacity Maximum number of elements held; must be > 0. */
     explicit Fifo(std::size_t capacity) : capacity_(capacity)
     {
-        assert(capacity > 0);
+        BONSAI_REQUIRE(capacity > 0, "FIFO capacity must be positive");
     }
 
     std::size_t capacity() const { return capacity_; }
@@ -35,11 +62,16 @@ class Fifo
     bool empty() const { return items_.empty(); }
     bool full() const { return items_.size() == capacity_; }
 
+    /** Attach (or with nullptr detach) a traffic observer. */
+    void setObserver(FifoObserver<T> *observer) { observer_ = observer; }
+
     /** Push one element; the caller must have checked freeSpace(). */
     void
     push(const T &item)
     {
-        assert(!full());
+        if (observer_)
+            observer_->onPush(*this, item);
+        BONSAI_REQUIRE(!full(), "push on a full FIFO");
         items_.push_back(item);
     }
 
@@ -47,7 +79,7 @@ class Fifo
     const T &
     front() const
     {
-        assert(!empty());
+        BONSAI_REQUIRE(!empty(), "front of an empty FIFO");
         return items_.front();
     }
 
@@ -55,7 +87,7 @@ class Fifo
     const T &
     peek(std::size_t i) const
     {
-        assert(i < items_.size());
+        BONSAI_REQUIRE(i < items_.size(), "peek past buffered contents");
         return items_[i];
     }
 
@@ -63,7 +95,9 @@ class Fifo
     T
     pop()
     {
-        assert(!empty());
+        if (observer_)
+            observer_->onPop(*this);
+        BONSAI_REQUIRE(!empty(), "pop from an empty FIFO");
         T item = items_.front();
         items_.pop_front();
         return item;
@@ -72,6 +106,7 @@ class Fifo
   private:
     std::size_t capacity_;
     std::deque<T> items_;
+    FifoObserver<T> *observer_ = nullptr;
 };
 
 } // namespace bonsai::sim

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Runtime protocol monitor for the cycle-level simulation.
+ *
+ * The AMT's correctness argument (docs/ARCHITECTURE.md) rests on
+ * per-channel stream contracts: bounded FIFOs are never over-pushed or
+ * under-popped, sorted-run channels carry non-decreasing keys between
+ * terminals, every run is closed by exactly one terminal record
+ * (Section V-B's zero-append / zero-filter scheme), and a component
+ * that reports quiescent() with starved inputs must not produce
+ * output.  This header turns those contracts into always-on runtime
+ * checks that fire at the *offending cycle*, not as wrong output
+ * megabytes later:
+ *
+ *  - ChannelMonitor: a FifoObserver that validates one channel's
+ *    traffic as it happens;
+ *  - CheckedFifo: a Fifo with a built-in monitor, for unit tests and
+ *    hand-wired pipelines;
+ *  - ProtocolChecker: a Component that owns monitors for a whole
+ *    instance, stamps them with the current cycle, cross-checks
+ *    quiescence claims against observed traffic, and verifies final
+ *    terminal counts / emptiness at end of run.
+ *
+ * Unlike the contract macros (common/contract.hpp), these checks are
+ * not compiled out in release builds: constructing a checker is the
+ * opt-in (the `checked` flags on AmtInstance and the sim sorters), so
+ * unchecked simulations pay nothing but a null observer test per
+ * push/pop.
+ */
+
+#ifndef BONSAI_SIM_PROTOCOL_CHECKER_HPP
+#define BONSAI_SIM_PROTOCOL_CHECKER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/fifo.hpp"
+
+namespace bonsai::sim
+{
+
+/** Thrown by a monitor at the cycle a stream contract is broken. */
+class ProtocolViolation : public std::runtime_error
+{
+  public:
+    ProtocolViolation(std::string channel, Cycle cycle,
+                      const std::string &message)
+        : std::runtime_error("protocol violation on '" + channel +
+                             "' at cycle " + std::to_string(cycle) +
+                             ": " + message),
+          channel_(std::move(channel)), cycle_(cycle)
+    {
+    }
+
+    /** Name of the offending channel or component. */
+    const std::string &channel() const { return channel_; }
+    /** Cycle at which the violation was detected. */
+    Cycle cycle() const { return cycle_; }
+
+  private:
+    std::string channel_;
+    Cycle cycle_;
+};
+
+/** What a channel is expected to carry. */
+enum class ChannelKind
+{
+    /** Sorted runs separated by single terminal records: keys must be
+     *  non-decreasing between terminals (the stream sortedness every
+     *  merger's selection logic relies on). */
+    SortedRuns,
+    /** No ordering expectation; only occupancy is checked. */
+    Raw,
+};
+
+/** Sentinel: no expectation on a channel's terminal count. */
+inline constexpr std::uint64_t kNoTerminalExpectation =
+    static_cast<std::uint64_t>(-1);
+
+namespace detail
+{
+
+/** Type-erased base so ProtocolChecker can own mixed-type monitors. */
+class MonitorBase
+{
+  public:
+    virtual ~MonitorBase() = default;
+    /** Verify end-of-run state (emptiness, exact terminal count). */
+    virtual void finalize() const = 0;
+    virtual const std::string &channelName() const = 0;
+};
+
+} // namespace detail
+
+/**
+ * Watches one FIFO channel.  Install on a Fifo via setObserver() (or
+ * use CheckedFifo / ProtocolChecker::watch, which do it for you).
+ * Violations throw ProtocolViolation from the offending push/pop.
+ */
+template <typename T>
+class ChannelMonitor final : public FifoObserver<T>,
+                             public detail::MonitorBase
+{
+  public:
+    ChannelMonitor(std::string name, ChannelKind kind,
+                   const Cycle *clock = nullptr)
+        : name_(std::move(name)), kind_(kind), clock_(clock)
+    {
+    }
+
+    /** Expect exactly @p n terminals over the channel's lifetime. */
+    void
+    expectTerminals(std::uint64_t n)
+    {
+        expectedTerminals_ = n;
+        if (n != kNoTerminalExpectation && terminalsSeen_ > n)
+            violation("saw " + std::to_string(terminalsSeen_) +
+                      " terminals, expected " + std::to_string(n));
+    }
+
+    /** Bind the monitor to the FIFO it should watch. */
+    void
+    attach(Fifo<T> &fifo)
+    {
+        fifo_ = &fifo;
+        fifo.setObserver(this);
+    }
+
+    std::uint64_t pushes() const { return pushes_; }
+    std::uint64_t pops() const { return pops_; }
+    std::uint64_t terminalsSeen() const { return terminalsSeen_; }
+    const std::string &channelName() const override { return name_; }
+
+    void
+    onPush(const Fifo<T> &fifo, const T &item) override
+    {
+        if (fifo.full())
+            violation("push on a full channel (capacity " +
+                      std::to_string(fifo.capacity()) + ")");
+        ++pushes_;
+        if (kind_ != ChannelKind::SortedRuns)
+            return;
+        // Raw-only payload types (no terminal encoding / ordering)
+        // can still be monitored for occupancy.
+        if constexpr (requires {
+                          item.isTerminal();
+                          item < item;
+                      }) {
+            if (item.isTerminal()) {
+                ++terminalsSeen_;
+                if (expectedTerminals_ != kNoTerminalExpectation &&
+                    terminalsSeen_ > expectedTerminals_) {
+                    violation("more than the expected " +
+                              std::to_string(expectedTerminals_) +
+                              " run terminal(s)");
+                }
+                haveLast_ = false;
+                return;
+            }
+            if (haveLast_ && item < last_)
+                violation(
+                    "key decreased within a run (stream not sorted)");
+            last_ = item;
+            haveLast_ = true;
+        } else {
+            violation("SortedRuns monitoring needs a record-like "
+                      "payload type");
+        }
+    }
+
+    void
+    onPop(const Fifo<T> &fifo) override
+    {
+        if (fifo.empty())
+            violation("pop from an empty channel");
+        ++pops_;
+    }
+
+    void
+    finalize() const override
+    {
+        if (fifo_ != nullptr && !fifo_->empty())
+            violation("channel still holds " +
+                      std::to_string(fifo_->size()) +
+                      " record(s) at end of run");
+        if (expectedTerminals_ != kNoTerminalExpectation &&
+            terminalsSeen_ != expectedTerminals_) {
+            violation("saw " + std::to_string(terminalsSeen_) +
+                      " run terminal(s), expected " +
+                      std::to_string(expectedTerminals_));
+        }
+    }
+
+  private:
+    [[noreturn]] void
+    violation(const std::string &message) const
+    {
+        throw ProtocolViolation(name_, clock_ ? *clock_ : 0, message);
+    }
+
+    std::string name_;
+    ChannelKind kind_;
+    const Cycle *clock_;
+    Fifo<T> *fifo_ = nullptr;
+
+    std::uint64_t pushes_ = 0;
+    std::uint64_t pops_ = 0;
+    std::uint64_t terminalsSeen_ = 0;
+    std::uint64_t expectedTerminals_ = kNoTerminalExpectation;
+    T last_{};
+    bool haveLast_ = false;
+};
+
+/**
+ * A bounded FIFO that checks its own stream protocol.  Drop-in for
+ * sim::Fifo wherever a channel should self-verify (unit tests,
+ * hand-wired pipelines); AmtInstance instead monitors its plain FIFOs
+ * through a ProtocolChecker.
+ */
+template <typename T>
+class CheckedFifo : public Fifo<T>
+{
+  public:
+    CheckedFifo(std::string name, std::size_t capacity, ChannelKind kind,
+                const Cycle *clock = nullptr)
+        : Fifo<T>(capacity),
+          monitor_(std::move(name), kind, clock)
+    {
+        monitor_.attach(*this);
+    }
+
+    ChannelMonitor<T> &monitor() { return monitor_; }
+    const ChannelMonitor<T> &monitor() const { return monitor_; }
+
+  private:
+    ChannelMonitor<T> monitor_;
+};
+
+/**
+ * Per-instance protocol monitor.  Owns a ChannelMonitor per watched
+ * channel plus quiescence watches, and participates in the simulation
+ * as a component so monitors can stamp violations with the current
+ * cycle.  Register it with the engine *before* the components it
+ * watches, so its clock is updated before their pushes each cycle.
+ */
+class ProtocolChecker : public Component
+{
+  public:
+    explicit ProtocolChecker(std::string name)
+        : Component(std::move(name))
+    {
+    }
+
+    /** Watch @p fifo as channel @p channel_name. */
+    template <typename T>
+    ChannelMonitor<T> &
+    watch(std::string channel_name, Fifo<T> &fifo, ChannelKind kind)
+    {
+        auto monitor = std::make_unique<ChannelMonitor<T>>(
+            std::move(channel_name), kind, &now_);
+        ChannelMonitor<T> &ref = *monitor;
+        ref.attach(fifo);
+        monitors_.push_back(std::move(monitor));
+        return ref;
+    }
+
+    /**
+     * Cross-check @p component's quiescent() claim: once it reports
+     * quiescent while all its @p inputs are empty (it is settled —
+     * nothing buffered, nothing arriving), producing new output
+     * without new input is a protocol violation.  Catches components
+     * that understate their buffered state, which would make the
+     * engine's convergence check terminate a run early.
+     */
+    template <typename T>
+    void
+    watchQuiescence(const Component &component,
+                    std::vector<const Fifo<T> *> inputs,
+                    std::vector<const ChannelMonitor<T> *> outputs)
+    {
+        auto watch = std::make_unique<QuiescenceWatch<T>>();
+        watch->component = &component;
+        watch->inputs = std::move(inputs);
+        watch->outputs = std::move(outputs);
+        quiescence_.push_back(std::move(watch));
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        now_ = now;
+        for (const auto &watch : quiescence_)
+            watch->check(now);
+    }
+
+    /** The checker holds no stream state of its own. */
+    bool quiescent() const override { return true; }
+
+    /**
+     * End-of-run verification: every watched channel drained, every
+     * terminal expectation met exactly, every watched component
+     * quiescent.  Call after the engine's completion predicate holds.
+     */
+    void
+    finalize() const
+    {
+        for (const auto &monitor : monitors_)
+            monitor->finalize();
+        for (const auto &watch : quiescence_) {
+            if (!watch->componentQuiescent()) {
+                throw ProtocolViolation(watch->componentName(), now_,
+                                        "component not quiescent at "
+                                        "end of run");
+            }
+        }
+    }
+
+    std::size_t watchedChannels() const { return monitors_.size(); }
+
+  private:
+    struct QuiescenceWatchBase
+    {
+        virtual ~QuiescenceWatchBase() = default;
+        virtual void check(Cycle now) = 0;
+        virtual bool componentQuiescent() const = 0;
+        virtual const std::string &componentName() const = 0;
+    };
+
+    template <typename T>
+    struct QuiescenceWatch final : QuiescenceWatchBase
+    {
+        const Component *component = nullptr;
+        std::vector<const Fifo<T> *> inputs;
+        std::vector<const ChannelMonitor<T> *> outputs;
+        bool settled = false;
+        std::uint64_t settledPushes = 0;
+
+        std::uint64_t
+        outputPushes() const
+        {
+            std::uint64_t total = 0;
+            for (const ChannelMonitor<T> *m : outputs)
+                total += m->pushes();
+            return total;
+        }
+
+        void
+        check(Cycle now) override
+        {
+            bool starved = component->quiescent();
+            for (const Fifo<T> *in : inputs) {
+                if (!in->empty()) {
+                    starved = false;
+                    break;
+                }
+            }
+            if (!starved) {
+                settled = false;
+                return;
+            }
+            if (!settled) {
+                settled = true;
+                settledPushes = outputPushes();
+                return;
+            }
+            if (outputPushes() != settledPushes) {
+                throw ProtocolViolation(
+                    component->name(), now,
+                    "output produced while claiming quiescent() with "
+                    "empty inputs (quiescence understates buffered "
+                    "state)");
+            }
+        }
+
+        bool
+        componentQuiescent() const override
+        {
+            return component->quiescent();
+        }
+
+        const std::string &
+        componentName() const override
+        {
+            return component->name();
+        }
+    };
+
+    Cycle now_ = 0;
+    std::vector<std::unique_ptr<detail::MonitorBase>> monitors_;
+    std::vector<std::unique_ptr<QuiescenceWatchBase>> quiescence_;
+};
+
+} // namespace bonsai::sim
+
+#endif // BONSAI_SIM_PROTOCOL_CHECKER_HPP

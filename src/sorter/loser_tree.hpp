@@ -21,10 +21,11 @@
 #ifndef BONSAI_SORTER_LOSER_TREE_HPP
 #define BONSAI_SORTER_LOSER_TREE_HPP
 
-#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "common/contract.hpp"
 
 namespace bonsai::sorter
 {
@@ -49,8 +50,10 @@ class LoserTree
               std::vector<std::uint64_t> end)
         : inputs_(std::move(inputs))
     {
-        assert(begin.size() == end.size());
-        assert(begin.empty() || begin.size() == inputs_.size());
+        BONSAI_REQUIRE(begin.size() == end.size(),
+                       "cursor bound vectors must pair up");
+        BONSAI_REQUIRE(begin.empty() || begin.size() == inputs_.size(),
+                       "one cursor range per input");
         ways_ = 1;
         while (ways_ < inputs_.size())
             ways_ *= 2;
@@ -63,8 +66,10 @@ class LoserTree
             pos_.assign(begin.begin(), begin.end());
             end_.assign(end.begin(), end.end());
             for (std::size_t i = 0; i < inputs_.size(); ++i) {
-                assert(pos_[i] <= end_[i]);
-                assert(end_[i] <= inputs_[i].size());
+                BONSAI_REQUIRE(pos_[i] <= end_[i],
+                               "cursor range must not be inverted");
+                BONSAI_REQUIRE(end_[i] <= inputs_[i].size(),
+                               "cursor range exceeds its input");
             }
         }
         tree_.assign(ways_, kEmpty);
@@ -78,7 +83,7 @@ class LoserTree
     RecordT
     pop()
     {
-        assert(!done());
+        BONSAI_REQUIRE(!done(), "pop from an exhausted loser tree");
         const std::size_t src = winner_;
         const RecordT out = inputs_[src][pos_[src]];
         ++pos_[src];

@@ -32,11 +32,11 @@
 #define BONSAI_SORTER_MERGE_PATH_HPP
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <span>
-#include <stdexcept>
 #include <vector>
+
+#include "common/contract.hpp"
 
 namespace bonsai::sorter
 {
@@ -61,7 +61,8 @@ class MergePath
     std::vector<std::uint64_t>
     cutsForRank(std::uint64_t rank) const
     {
-        assert(rank <= total_);
+        BONSAI_REQUIRE(rank <= total_,
+                       "output rank beyond the merged extent");
         std::vector<std::uint64_t> cuts(inputs_.size(), 0);
         if (rank == 0)
             return cuts;
@@ -93,8 +94,11 @@ class MergePath
         // Unreachable when every input span is sorted under a
         // consistent strict weak order; returning any cut vector from
         // here would silently corrupt the merged output, so fail
-        // loudly in release builds too.
-        throw std::logic_error(
+        // loudly in release builds too (not compiled out like the
+        // contract macros).
+        bonsai::contracts::fail(
+            "invariant", "rankOf(i, lo) == rank for some input",
+            __FILE__, __LINE__,
             "MergePath: rank element not found (input span unsorted "
             "or RecordT comparison inconsistent)");
     }
@@ -108,7 +112,7 @@ class MergePath
     std::vector<std::vector<std::uint64_t>>
     partition(unsigned parts) const
     {
-        assert(parts >= 1);
+        BONSAI_REQUIRE(parts >= 1, "need at least one slice");
         std::vector<std::vector<std::uint64_t>> bounds;
         bounds.reserve(parts + 1);
         for (unsigned t = 0; t <= parts; ++t)

@@ -17,12 +17,12 @@
 #ifndef BONSAI_SORTER_PIPELINE_SIM_HPP
 #define BONSAI_SORTER_PIPELINE_SIM_HPP
 
-#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "amt/config.hpp"
+#include "common/contract.hpp"
 #include "amt/instance.hpp"
 #include "hw/data_loader.hpp"
 #include "hw/data_writer.hpp"
@@ -65,12 +65,16 @@ class PipelineSimSorter
         std::uint64_t recordBytes = 4;
         std::uint64_t presortRun = 16;
         std::uint64_t maxCyclesPerSlot = 0; ///< 0 = auto bound
+        /** Wire a ProtocolChecker over every tree (see SimSorter). */
+        bool checked = false;
     };
 
     explicit PipelineSimSorter(const Options &opts) : opts_(opts)
     {
-        assert(opts.config.lambdaUnrl == 1);
-        assert(opts.config.lambdaPipe >= 1);
+        BONSAI_REQUIRE(opts.config.lambdaUnrl == 1,
+                       "pipelined sorts use unroll 1");
+        BONSAI_REQUIRE(opts.config.lambdaPipe >= 1,
+                       "need at least one pipeline stage");
     }
 
     /**
@@ -154,7 +158,9 @@ class PipelineSimSorter
             const amt::TreeShape shape = amt::makeTreeShape(
                 opts_.config.p, opts_.config.ell);
             auto tree = std::make_unique<amt::AmtInstance<RecordT>>(
-                "amt", shape, 2 * (2 * batch_records + 2) + 2);
+                "amt", shape, 2 * (2 * batch_records + 2) + 2,
+                opts_.checked);
+            tree->expectRunsPerChannel(plan.groups());
 
             std::vector<typename hw::DataLoader<RecordT>::LeafFeed>
                 feeds;
@@ -220,6 +226,8 @@ class PipelineSimSorter
             stats.completed = false;
             return false;
         }
+        for (auto &tree : amts)
+            tree->finalizeChecks();
         return true;
     }
 

@@ -19,12 +19,12 @@
 #define BONSAI_SORTER_SIM_SORTER_HPP
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "amt/config.hpp"
+#include "common/contract.hpp"
 #include "amt/instance.hpp"
 #include "hw/data_loader.hpp"
 #include "hw/data_writer.hpp"
@@ -101,13 +101,19 @@ class SimSorter
         /** Per-stage cycle budget; 0 derives a generous bound from the
          *  stage size (deadlock detection). */
         std::uint64_t maxCyclesPerStage = 0;
+        /** Run every stage under a wired ProtocolChecker: per-channel
+         *  stream contracts are verified every cycle and a finalize
+         *  pass checks terminal counts and quiescence per stage. */
+        bool checked = false;
     };
 
     explicit SimSorter(const Options &opts) : opts_(opts)
     {
-        assert(opts.config.lambdaPipe == 1 &&
-               "pipelined configs are modeled by the StageSimulator");
-        assert(opts.batchBytes >= opts.recordBytes);
+        BONSAI_REQUIRE(opts.config.lambdaPipe == 1,
+                       "pipelined configs are modeled by the "
+                       "StageSimulator");
+        BONSAI_REQUIRE(opts.batchBytes >= opts.recordBytes,
+                       "a batch must hold at least one record");
     }
 
     /** Sort @p data in place, accumulating cycle statistics. */
@@ -316,7 +322,9 @@ class SimSorter
             const amt::TreeShape shape =
                 amt::makeTreeShape(opts_.config.p, opts_.config.ell);
             auto tree = std::make_unique<amt::AmtInstance<RecordT>>(
-                "amt", shape, 2 * (2 * batch_records + 2) + 2);
+                "amt", shape, 2 * (2 * batch_records + 2) + 2,
+                opts_.checked);
+            tree->expectRunsPerChannel(plan.groups());
 
             std::vector<typename hw::DataLoader<RecordT>::LeafFeed>
                 feeds;
@@ -396,6 +404,10 @@ class SimSorter
             stats.completed = false;
             return false;
         }
+        // All writers drained: the tree must be back to its idle
+        // state with every expectation met (throws on violation).
+        for (auto &tree : amts)
+            tree->finalizeChecks();
         return true;
     }
 

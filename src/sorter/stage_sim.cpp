@@ -1,15 +1,16 @@
 #include "sorter/stage_sim.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/contract.hpp"
 
 namespace bonsai::sorter
 {
 
 StageSimulator::StageSimulator(const Options &opts) : opts_(opts)
 {
-    assert(opts.config.lambdaPipe == 1 &&
-           "pipeline throughput uses model::pipelineEstimate");
+    BONSAI_REQUIRE(opts.config.lambdaPipe == 1,
+                   "pipeline throughput uses model::pipelineEstimate");
     if (opts_.flushCyclesPerGroup > 0.0) {
         flushCycles_ = opts_.flushCyclesPerGroup;
     } else {

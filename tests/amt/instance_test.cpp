@@ -86,9 +86,9 @@ INSTANTIATE_TEST_SUITE_P(
                       Shape{2, 8}, Shape{4, 4}, Shape{4, 16},
                       Shape{8, 2}, Shape{8, 8}, Shape{16, 4},
                       Shape{32, 2}, Shape{32, 8}, Shape{2, 32}),
-    [](const ::testing::TestParamInfo<Shape> &info) {
-        return "p" + std::to_string(info.param.p) + "_ell" +
-            std::to_string(info.param.ell);
+    [](const ::testing::TestParamInfo<Shape> &param_info) {
+        return "p" + std::to_string(param_info.param.p) + "_ell" +
+            std::to_string(param_info.param.ell);
     });
 
 TEST(AmtInstance, TwoGroupsSequentially)

@@ -75,8 +75,8 @@ TEST_P(CpuSorters, MatchesStdSortKeys)
 INSTANTIATE_TEST_SUITE_P(All, CpuSorters,
                          ::testing::Values(&baseline::stdSort, &lsd,
                                            &paradis, &sample),
-                         [](const auto &info) -> std::string {
-                             switch (info.index) {
+                         [](const auto &param_info) -> std::string {
+                             switch (param_info.index) {
                                case 0: return "stdSort";
                                case 1: return "lsdRadix";
                                case 2: return "parallelMsdRadix";

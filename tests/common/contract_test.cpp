@@ -1,0 +1,126 @@
+/** @file Unit tests for the contract-checking macros. */
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "sim/fifo.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(Contract, PassingChecksAreSilent)
+{
+    // These must be no-ops in every build configuration.
+    BONSAI_REQUIRE(1 + 1 == 2, "arithmetic works");
+    BONSAI_ENSURE(true, "trivially true");
+    BONSAI_INVARIANT(2 > 1, "ordering works");
+}
+
+TEST(Contract, FailCarriesFullContext)
+{
+    // contracts::fail is unconditional (it backs the macros but also
+    // release-mode violations), so its payload is testable in every
+    // build.
+    try {
+        contracts::fail("invariant", "x == y", "somefile.hpp", 42,
+                        "the message");
+        FAIL() << "fail() must not return";
+    } catch (const ContractViolation &e) {
+        EXPECT_STREQ(e.kind(), "invariant");
+        EXPECT_STREQ(e.expression(), "x == y");
+        EXPECT_STREQ(e.file(), "somefile.hpp");
+        EXPECT_EQ(e.line(), 42);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("invariant violated"), std::string::npos);
+        EXPECT_NE(what.find("the message"), std::string::npos);
+        EXPECT_NE(what.find("x == y"), std::string::npos);
+        EXPECT_NE(what.find("somefile.hpp:42"), std::string::npos);
+    }
+}
+
+TEST(Contract, ViolationIsALogicError)
+{
+    // Pre-contract code threw std::logic_error from release-mode
+    // checks; callers catching that must keep working.
+    EXPECT_THROW(
+        contracts::fail("precondition", "false", __FILE__, __LINE__,
+                        "compat"),
+        std::logic_error);
+}
+
+TEST(Contract, RequireThrowsWithKind)
+{
+    if (!contracts::enabled())
+        GTEST_SKIP() << "contracts compiled out of this build";
+    try {
+        BONSAI_REQUIRE(false, "require fires");
+        FAIL() << "BONSAI_REQUIRE(false) must throw";
+    } catch (const ContractViolation &e) {
+        EXPECT_STREQ(e.kind(), "precondition");
+        EXPECT_STREQ(e.expression(), "false");
+    }
+}
+
+TEST(Contract, EnsureThrowsWithKind)
+{
+    if (!contracts::enabled())
+        GTEST_SKIP() << "contracts compiled out of this build";
+    try {
+        BONSAI_ENSURE(false, "ensure fires");
+        FAIL() << "BONSAI_ENSURE(false) must throw";
+    } catch (const ContractViolation &e) {
+        EXPECT_STREQ(e.kind(), "postcondition");
+    }
+}
+
+TEST(Contract, InvariantThrowsWithKind)
+{
+    if (!contracts::enabled())
+        GTEST_SKIP() << "contracts compiled out of this build";
+    try {
+        BONSAI_INVARIANT(false, "invariant fires");
+        FAIL() << "BONSAI_INVARIANT(false) must throw";
+    } catch (const ContractViolation &e) {
+        EXPECT_STREQ(e.kind(), "invariant");
+    }
+}
+
+TEST(Contract, DisabledChecksDoNotEvaluateCondition)
+{
+    if (contracts::enabled())
+        GTEST_SKIP() << "only meaningful when contracts are off";
+    int evaluations = 0;
+    BONSAI_REQUIRE((++evaluations, true), "must not run");
+    BONSAI_REQUIRE((++evaluations, false), "must not run or throw");
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Contract, FifoPushFullViolatesPrecondition)
+{
+    if (!contracts::enabled())
+        GTEST_SKIP() << "contracts compiled out of this build";
+    sim::Fifo<int> f(2);
+    f.push(1);
+    f.push(2);
+    EXPECT_THROW(f.push(3), ContractViolation);
+    // The failed push must not have corrupted the channel.
+    EXPECT_EQ(f.size(), 2u);
+    EXPECT_EQ(f.pop(), 1);
+}
+
+TEST(Contract, FifoPopEmptyViolatesPrecondition)
+{
+    if (!contracts::enabled())
+        GTEST_SKIP() << "contracts compiled out of this build";
+    sim::Fifo<int> f(2);
+    EXPECT_THROW(f.pop(), ContractViolation);
+    EXPECT_THROW(f.front(), ContractViolation);
+    f.push(7);
+    EXPECT_EQ(f.pop(), 7);
+    EXPECT_THROW(f.pop(), ContractViolation);
+}
+
+} // namespace
+} // namespace bonsai

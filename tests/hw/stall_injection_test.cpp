@@ -131,9 +131,9 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, StallInjection,
     ::testing::Values(Shape{1, 2}, Shape{2, 4}, Shape{4, 8},
                       Shape{8, 16}, Shape{16, 4}, Shape{32, 8}),
-    [](const ::testing::TestParamInfo<Shape> &info) {
-        return "p" + std::to_string(info.param.p) + "_ell" +
-            std::to_string(info.param.ell);
+    [](const ::testing::TestParamInfo<Shape> &param_info) {
+        return "p" + std::to_string(param_info.param.p) + "_ell" +
+            std::to_string(param_info.param.ell);
     });
 
 TEST(StallInjection, MergerResumesAfterLongStarvation)

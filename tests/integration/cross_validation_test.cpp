@@ -102,11 +102,11 @@ INSTANTIATE_TEST_SUITE_P(
                       Config{16, 16, 32.0},  // balanced
                       Config{32, 16, 16.0},  // bandwidth-bound
                       Config{4, 16, 32.0}),  // deeply compute-bound
-    [](const ::testing::TestParamInfo<Config> &info) {
-        return "p" + std::to_string(info.param.p) + "_ell" +
-            std::to_string(info.param.ell) + "_bw" +
+    [](const ::testing::TestParamInfo<Config> &param_info) {
+        return "p" + std::to_string(param_info.param.p) + "_ell" +
+            std::to_string(param_info.param.ell) + "_bw" +
             std::to_string(
-                   static_cast<int>(info.param.bankBytesPerCycle));
+                   static_cast<int>(param_info.param.bankBytesPerCycle));
     });
 
 } // namespace

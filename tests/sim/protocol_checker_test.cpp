@@ -1,0 +1,317 @@
+/** @file Tests for the stream-protocol monitor (checked simulation). */
+
+#include <gtest/gtest.h>
+
+#include "common/record.hpp"
+#include "sim/engine.hpp"
+#include "sim/fifo.hpp"
+#include "sim/protocol_checker.hpp"
+#include "sorter/sim_sorter.hpp"
+
+#include "common/checks.hpp"
+#include "common/random.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+using sim::ChannelKind;
+using sim::CheckedFifo;
+using sim::ProtocolChecker;
+using sim::ProtocolViolation;
+
+TEST(CheckedFifo, WellBehavedTrafficPasses)
+{
+    CheckedFifo<Record> f("ch", 8, ChannelKind::SortedRuns);
+    f.monitor().expectTerminals(2);
+    f.push(Record{1, 0});
+    f.push(Record{3, 0});
+    f.push(Record{3, 1}); // equal keys are fine within a run
+    f.push(Record::terminal());
+    f.push(Record{2, 0}); // next run restarts the ordering
+    f.push(Record::terminal());
+    while (!f.empty())
+        f.pop();
+    EXPECT_EQ(f.monitor().pushes(), 6u);
+    EXPECT_EQ(f.monitor().pops(), 6u);
+    EXPECT_EQ(f.monitor().terminalsSeen(), 2u);
+    EXPECT_NO_THROW(f.monitor().finalize());
+}
+
+TEST(CheckedFifo, OverfullPushFires)
+{
+    CheckedFifo<Record> f("ch", 2, ChannelKind::SortedRuns);
+    f.push(Record{1, 0});
+    f.push(Record{2, 0});
+    try {
+        f.push(Record{3, 0});
+        FAIL() << "push on a full channel must fire";
+    } catch (const ProtocolViolation &e) {
+        EXPECT_EQ(e.channel(), "ch");
+        EXPECT_NE(std::string(e.what()).find("full channel"),
+                  std::string::npos);
+    }
+    // The violation fired before the mutation: channel intact.
+    EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(CheckedFifo, PopFromEmptyFires)
+{
+    CheckedFifo<Record> f("ch", 2, ChannelKind::SortedRuns);
+    EXPECT_THROW(f.pop(), ProtocolViolation);
+    f.push(Record{1, 0});
+    EXPECT_NO_THROW(f.pop());
+    EXPECT_THROW(f.pop(), ProtocolViolation);
+}
+
+TEST(CheckedFifo, KeyDecreaseWithinRunFires)
+{
+    CheckedFifo<Record> f("ch", 8, ChannelKind::SortedRuns);
+    f.push(Record{5, 0});
+    try {
+        f.push(Record{4, 0});
+        FAIL() << "descending key within a run must fire";
+    } catch (const ProtocolViolation &e) {
+        EXPECT_NE(std::string(e.what()).find("not sorted"),
+                  std::string::npos);
+    }
+}
+
+TEST(CheckedFifo, TerminalResetsOrdering)
+{
+    CheckedFifo<Record> f("ch", 8, ChannelKind::SortedRuns);
+    f.push(Record{5, 0});
+    f.push(Record::terminal());
+    // A smaller key after the terminal starts a new run: legal.
+    EXPECT_NO_THROW(f.push(Record{1, 0}));
+    // ...but within that run order is enforced again.
+    EXPECT_NO_THROW(f.push(Record{2, 0}));
+    EXPECT_THROW(f.push(Record{1, 5}), ProtocolViolation);
+}
+
+TEST(CheckedFifo, RawChannelsSkipOrdering)
+{
+    CheckedFifo<int> f("raw", 4, ChannelKind::Raw);
+    f.push(9);
+    f.push(1); // out of order, but Raw channels carry anything
+    f.push(5);
+    EXPECT_EQ(f.monitor().pushes(), 3u);
+    f.pop();
+    f.pop();
+    f.pop();
+    EXPECT_NO_THROW(f.monitor().finalize());
+}
+
+TEST(CheckedFifo, ExcessTerminalFiresAtThePush)
+{
+    CheckedFifo<Record> f("ch", 8, ChannelKind::SortedRuns);
+    f.monitor().expectTerminals(1);
+    f.push(Record::terminal());
+    f.pop();
+    EXPECT_THROW(f.push(Record::terminal()), ProtocolViolation);
+}
+
+TEST(CheckedFifo, ExcessTerminalFiresRetroactively)
+{
+    CheckedFifo<Record> f("ch", 8, ChannelKind::SortedRuns);
+    f.push(Record::terminal());
+    f.push(Record::terminal());
+    // The expectation arrives after the damage: still reported.
+    EXPECT_THROW(f.monitor().expectTerminals(1), ProtocolViolation);
+}
+
+TEST(CheckedFifo, MissingTerminalFiresAtFinalize)
+{
+    CheckedFifo<Record> f("ch", 8, ChannelKind::SortedRuns);
+    f.monitor().expectTerminals(2);
+    f.push(Record{1, 0});
+    f.push(Record::terminal());
+    f.pop();
+    f.pop();
+    try {
+        f.monitor().finalize();
+        FAIL() << "missing terminal must fire at finalize";
+    } catch (const ProtocolViolation &e) {
+        EXPECT_NE(std::string(e.what()).find("expected 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(CheckedFifo, UndrainedChannelFiresAtFinalize)
+{
+    CheckedFifo<Record> f("ch", 8, ChannelKind::SortedRuns);
+    f.push(Record{1, 0});
+    EXPECT_THROW(f.monitor().finalize(), ProtocolViolation);
+    f.pop();
+    EXPECT_NO_THROW(f.monitor().finalize());
+}
+
+/** Pushes onto its (already full) output at a chosen cycle. */
+class BadPusher final : public sim::Component
+{
+  public:
+    BadPusher(sim::Fifo<Record> &out, sim::Cycle when)
+        : Component("bad_pusher"), out_(out), when_(when)
+    {
+    }
+
+    void
+    tick(sim::Cycle now) override
+    {
+        if (now == when_)
+            out_.push(Record{9, 9});
+    }
+
+    bool quiescent() const override { return true; }
+
+  private:
+    sim::Fifo<Record> &out_;
+    const sim::Cycle when_;
+};
+
+TEST(ProtocolChecker, ViolationCarriesTheOffendingCycle)
+{
+    ProtocolChecker checker("check");
+    sim::Fifo<Record> fifo(1);
+    checker.watch<Record>("tree.out0_0", fifo,
+                          ChannelKind::SortedRuns);
+    fifo.push(Record{1, 0}); // now full
+    BadPusher bad(fifo, 3);
+
+    sim::SimEngine engine;
+    engine.add(&checker); // first: its clock leads the components
+    engine.add(&bad);
+    try {
+        engine.run([] { return false; }, 10);
+        FAIL() << "the cycle-3 push must fire";
+    } catch (const ProtocolViolation &e) {
+        EXPECT_EQ(e.channel(), "tree.out0_0");
+        EXPECT_EQ(e.cycle(), 3u);
+    }
+}
+
+/**
+ * Claims quiescent() unconditionally but secretly holds a record it
+ * emits later — the understatement that would let the engine's
+ * convergence predicate end a run while data is still in flight.
+ */
+class LyingComponent final : public sim::Component
+{
+  public:
+    LyingComponent(sim::Fifo<Record> &in, sim::Fifo<Record> &out,
+                   sim::Cycle emit_at)
+        : Component("liar"), in_(in), out_(out), emitAt_(emit_at)
+    {
+    }
+
+    void
+    tick(sim::Cycle now) override
+    {
+        if (now == emitAt_)
+            out_.push(Record{1, 0});
+    }
+
+    bool quiescent() const override { return true; } // the lie
+
+  private:
+    sim::Fifo<Record> &in_;
+    sim::Fifo<Record> &out_;
+    const sim::Cycle emitAt_;
+};
+
+TEST(ProtocolChecker, LyingQuiescenceIsDetected)
+{
+    ProtocolChecker checker("check");
+    sim::Fifo<Record> in(4);
+    sim::Fifo<Record> out(4);
+    auto &out_monitor = checker.watch<Record>(
+        "liar.out", out, ChannelKind::SortedRuns);
+    LyingComponent liar(in, out, 1);
+    checker.watchQuiescence<Record>(liar, {&in}, {&out_monitor});
+
+    sim::SimEngine engine;
+    engine.add(&checker);
+    engine.add(&liar);
+    // Cycle 0: liar settles (quiescent + empty input).  Cycle 1: it
+    // pushes anyway.  Cycle 2: the checker sees output growth while
+    // settled and fires.
+    try {
+        engine.run([] { return false; }, 10);
+        FAIL() << "quiescence lie must fire";
+    } catch (const ProtocolViolation &e) {
+        EXPECT_EQ(e.channel(), "liar");
+        EXPECT_EQ(e.cycle(), 2u);
+        EXPECT_NE(std::string(e.what()).find("quiescent"),
+                  std::string::npos);
+    }
+}
+
+TEST(ProtocolChecker, HonestTrafficRunsCleanToFinalize)
+{
+    ProtocolChecker checker("check");
+    sim::Fifo<Record> fifo(8);
+    auto &monitor = checker.watch<Record>("ch", fifo,
+                                          ChannelKind::SortedRuns);
+    monitor.expectTerminals(1);
+    EXPECT_EQ(checker.watchedChannels(), 1u);
+
+    fifo.push(Record{1, 0});
+    fifo.push(Record{2, 0});
+    fifo.push(Record::terminal());
+    while (!fifo.empty())
+        fifo.pop();
+    EXPECT_NO_THROW(checker.finalize());
+}
+
+TEST(ProtocolChecker, FinalizeRejectsNonQuiescentComponent)
+{
+    /** Honest component that still holds buffered state. */
+    class Busy final : public sim::Component
+    {
+      public:
+        Busy() : Component("busy") {}
+        void tick(sim::Cycle) override {}
+        bool quiescent() const override { return false; }
+    };
+
+    ProtocolChecker checker("check");
+    sim::Fifo<Record> in(4);
+    Busy busy;
+    checker.watchQuiescence<Record>(busy, {&in}, {});
+    try {
+        checker.finalize();
+        FAIL() << "non-quiescent component at end of run must fire";
+    } catch (const ProtocolViolation &e) {
+        EXPECT_EQ(e.channel(), "busy");
+    }
+}
+
+TEST(ProtocolChecker, CheckedSimSorterSortsClean)
+{
+    // End to end: a full simulated sort with every channel monitored
+    // and per-stage finalize checks must behave exactly like an
+    // unchecked run.
+    sorter::SimSorter<Record>::Options opts;
+    opts.config = amt::AmtConfig{4, 8, 1, 1};
+    opts.mem.numBanks = 4;
+    opts.mem.bankBytesPerCycle = 32.0;
+    opts.mem.interleaveBytes = 1024;
+    opts.mem.requestLatency = 8;
+    opts.batchBytes = 1024;
+    opts.recordBytes = 4;
+    opts.presortRun = 16;
+    opts.checked = true;
+
+    auto data = makeRecords(5000, Distribution::UniformRandom);
+    const Fingerprint before =
+        fingerprint(std::span<const Record>(data));
+    sorter::SimSorter<Record> sorter(opts);
+    const auto stats = sorter.sort(data);
+    ASSERT_TRUE(stats.completed);
+    EXPECT_TRUE(isSorted(std::span<const Record>(data)));
+    EXPECT_EQ(before, fingerprint(std::span<const Record>(data)));
+}
+
+} // namespace
+} // namespace bonsai

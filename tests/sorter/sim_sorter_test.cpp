@@ -72,10 +72,10 @@ INSTANTIATE_TEST_SUITE_P(
                       SimShape{32, 64, 50'000},
                       SimShape{32, 4, 10'000},
                       SimShape{1, 16, 2000}),
-    [](const ::testing::TestParamInfo<SimShape> &info) {
-        return "p" + std::to_string(info.param.p) + "_ell" +
-            std::to_string(info.param.ell) + "_n" +
-            std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<SimShape> &param_info) {
+        return "p" + std::to_string(param_info.param.p) + "_ell" +
+            std::to_string(param_info.param.ell) + "_n" +
+            std::to_string(param_info.param.n);
     });
 
 TEST(SimSorter, SortsAdversarialDistributions)
