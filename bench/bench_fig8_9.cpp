@@ -24,7 +24,8 @@ namespace
 using namespace bonsai;
 
 void
-sweep(const char *name, const std::vector<amt::AmtConfig> &configs)
+sweep(const char *name, const std::vector<amt::AmtConfig> &configs,
+      bench::JsonReporter &report)
 {
     bench::title(name);
     std::printf("%-14s", "Input");
@@ -53,6 +54,18 @@ sweep(const char *name, const std::vector<amt::AmtConfig> &configs)
             const double p_ms =
                 toMs(predicted.latencySeconds) / toGb(bytes);
             std::printf("   %8.1f / %-8.1f ", m_ms, p_ms);
+
+            report.beginPoint();
+            report.field("p", std::uint64_t{cfg.p});
+            report.field("ell", std::uint64_t{cfg.ell});
+            report.field("input_bytes", bytes);
+            report.field("measured_seconds", measured.totalSeconds);
+            report.field("predicted_seconds",
+                         predicted.latencySeconds);
+            report.field("model_residual",
+                         (measured.totalSeconds -
+                          predicted.latencySeconds) /
+                             predicted.latencySeconds);
         }
         std::printf("\n");
     }
@@ -89,17 +102,23 @@ main()
 {
     using namespace bonsai;
 
+    bench::JsonReporter report("fig8_9");
+    report.config("platform", std::string("aws_f1"));
+    report.config("record_bytes", std::uint64_t{4});
+
     sweep("Figure 8: sort time per GB, AMT(p, 64) sweep "
           "(ms/GB, measured/predicted)",
           {amt::AmtConfig{4, 64, 1, 1}, amt::AmtConfig{8, 64, 1, 1},
            amt::AmtConfig{16, 64, 1, 1},
-           amt::AmtConfig{32, 64, 1, 1}});
+           amt::AmtConfig{32, 64, 1, 1}},
+          report);
 
     sweep("Figure 9: sort time per GB, AMT(32, ell) sweep "
           "(ms/GB, measured/predicted)",
           {amt::AmtConfig{32, 16, 1, 1}, amt::AmtConfig{32, 64, 1, 1},
            amt::AmtConfig{32, 128, 1, 1},
-           amt::AmtConfig{32, 256, 1, 1}});
+           amt::AmtConfig{32, 256, 1, 1}},
+          report);
 
     // Cycle-accurate cross-check at 16 MB (4M records): the
     // cycle-level datapath vs the same model.
@@ -124,5 +143,18 @@ main()
                 100.0 * std::abs(measured_s -
                                  predicted.latencySeconds) /
                     predicted.latencySeconds);
+
+    report.beginPoint();
+    report.field("p", std::uint64_t{8});
+    report.field("ell", std::uint64_t{64});
+    report.field("input_bytes", std::uint64_t{16 * kMB});
+    report.field("cycles", stats.totalCycles);
+    report.field("measured_seconds", measured_s);
+    report.field("predicted_seconds", predicted.latencySeconds);
+    report.field("model_residual",
+                 (measured_s - predicted.latencySeconds) /
+                     predicted.latencySeconds);
+    report.write();
+    std::printf("wrote BENCH_fig8_9.json\n");
     return 0;
 }

@@ -49,6 +49,13 @@ main()
         return 1;
     }
 
+    bench::JsonReporter json("microarch");
+    json.config("p", std::uint64_t{o.config.p});
+    json.config("ell", std::uint64_t{o.config.ell});
+    json.config("banks", std::uint64_t{o.mem.numBanks});
+    json.config("bank_bytes_per_cycle", o.mem.bankBytesPerCycle);
+    json.config("input_bytes", std::uint64_t{8 * kMB});
+
     std::printf("%-8s %10s %10s %10s %12s %10s\n", "Stage", "cycles",
                 "groups", "read MB", "read util", "stalls/merger");
     bench::rule(66);
@@ -62,7 +69,17 @@ main()
                     100.0 * report.readUtilization,
                     static_cast<double>(report.mergerStallCycles) /
                         mergers);
+        json.beginPoint();
+        json.field("stage", static_cast<std::uint64_t>(s));
+        json.field("cycles", report.cycles);
+        json.field("seconds",
+                   static_cast<double>(report.cycles) / 250e6);
+        json.field("groups", report.groups);
+        json.field("bytes_read", report.bytesRead);
+        json.field("read_utilization", report.readUtilization);
+        json.field("merger_stall_cycles", report.mergerStallCycles);
     }
+    json.write();
     std::printf("\ntotal: %llu cycles = %.3f ms at 250 MHz "
                 "(%u stages, %.1f MB moved each way)\n",
                 static_cast<unsigned long long>(stats.totalCycles),

@@ -11,22 +11,33 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/units.hpp"
 
 namespace bonsai::bench
 {
 
-/** "4 GB", "2 TB", "512 MB" style labels. */
+/**
+ * "4 GB", "2 TB", "512 MB" style labels.  Branches are ordered
+ * largest-unit-first: everything at or above 10 TB rounds to whole
+ * terabytes, smaller terabyte sizes keep one decimal unless exact, and
+ * only sub-terabyte sizes fall through to GB/MB labels.
+ */
 inline std::string
 sizeLabel(std::uint64_t bytes)
 {
     char buf[32];
-    if (bytes >= kTB && bytes % kTB == 0)
+    if (bytes >= 10 * kTB)
+        std::snprintf(buf, sizeof(buf), "%.0f TB",
+                      static_cast<double>(bytes) /
+                          static_cast<double>(kTB));
+    else if (bytes >= kTB && bytes % kTB == 0)
         std::snprintf(buf, sizeof(buf), "%llu TB",
                       static_cast<unsigned long long>(bytes / kTB));
-    else if (bytes >= 10 * kTB)
-        std::snprintf(buf, sizeof(buf), "%.0f TB",
+    else if (bytes >= kTB)
+        std::snprintf(buf, sizeof(buf), "%.1f TB",
                       static_cast<double>(bytes) /
                           static_cast<double>(kTB));
     else if (bytes >= kGB && bytes % kGB == 0)
@@ -40,6 +51,130 @@ sizeLabel(std::uint64_t bytes)
                       static_cast<unsigned long long>(bytes));
     return buf;
 }
+
+/**
+ * Machine-readable companion to the printed tables: accumulates the
+ * bench configuration and one row per measured point, then writes
+ * `BENCH_<name>.json` so plots and regression tooling can consume the
+ * numbers (cycles, seconds, model residuals, ...) without scraping
+ * stdout.  Keys keep insertion order; values are strings or doubles.
+ */
+class JsonReporter
+{
+  public:
+    explicit JsonReporter(std::string name) : name_(std::move(name)) {}
+
+    /** Record a configuration entry (shape, bandwidth, dataset, ...). */
+    void
+    config(const std::string &key, const std::string &value)
+    {
+        config_.emplace_back(key, quoted(value));
+    }
+
+    void
+    config(const std::string &key, double value)
+    {
+        config_.emplace_back(key, number(value));
+    }
+
+    void
+    config(const std::string &key, std::uint64_t value)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(value));
+        config_.emplace_back(key, buf);
+    }
+
+    /** Start a new measurement point; fields attach to the last one. */
+    void beginPoint() { points_.emplace_back(); }
+
+    void
+    field(const std::string &key, const std::string &value)
+    {
+        points_.back().emplace_back(key, quoted(value));
+    }
+
+    void
+    field(const std::string &key, double value)
+    {
+        points_.back().emplace_back(key, number(value));
+    }
+
+    void
+    field(const std::string &key, std::uint64_t value)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(value));
+        points_.back().emplace_back(key, buf);
+    }
+
+    /** Write BENCH_<name>.json in @p directory; false on I/O error. */
+    bool
+    write(const std::string &directory = ".") const
+    {
+        const std::string path =
+            directory + "/BENCH_" + name_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr)
+            return false;
+        std::fprintf(f, "{\n  \"bench\": %s,\n  \"config\": {",
+                     quoted(name_).c_str());
+        writeEntries(f, config_, "    ");
+        std::fprintf(f, "},\n  \"points\": [");
+        for (std::size_t i = 0; i < points_.size(); ++i) {
+            std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
+            writeEntries(f, points_[i], "      ");
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "%s]\n}\n", points_.empty() ? "" : "\n  ");
+        return std::fclose(f) == 0;
+    }
+
+  private:
+    using Entries = std::vector<std::pair<std::string, std::string>>;
+
+    static std::string
+    quoted(const std::string &raw)
+    {
+        std::string out = "\"";
+        for (const char c : raw) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out + "\"";
+    }
+
+    static std::string
+    number(double value)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.12g", value);
+        return buf;
+    }
+
+    static void
+    writeEntries(std::FILE *f, const Entries &entries,
+                 const char *indent)
+    {
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            std::fprintf(f, "%s\n%s%s: %s", i == 0 ? "" : ",", indent,
+                         quoted(entries[i].first).c_str(),
+                         entries[i].second.c_str());
+        }
+        if (!entries.empty())
+            std::fprintf(f, "\n%.*s",
+                         static_cast<int>(std::string(indent).size()) -
+                             2,
+                         indent);
+    }
+
+    std::string name_;
+    Entries config_;
+    std::vector<Entries> points_;
+};
 
 /** Print a header rule. */
 inline void

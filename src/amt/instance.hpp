@@ -119,7 +119,11 @@ class AmtInstance
 
     /** Register every component with the engine.  The checker (when
      *  present) registers first so its clock leads the components it
-     *  observes within each cycle. */
+     *  observes within each cycle.  Internal registration order
+     *  (couplers before their parent merger) also matters to the
+     *  activity-driven engine: wake hints are evaluated in this same
+     *  order, so a merger's hint always sees the port FIFOs its
+     *  couplers just filled — exactly what its naive tick would see. */
     void
     registerWith(sim::SimEngine &engine)
     {

@@ -46,6 +46,13 @@ class Coupler : public sim::Component
         }
     }
 
+    /** Pure forwarder: active exactly when a record can move. */
+    sim::Cycle
+    nextWake(sim::Cycle now) const override
+    {
+        return !in_.empty() && !out_.full() ? now : sim::kNeverWake;
+    }
+
     std::uint64_t recordsForwarded() const { return recordsForwarded_; }
 
   private:

@@ -125,6 +125,36 @@ class DataLoader : public sim::Component
         return quiescent();
     }
 
+    /**
+     * Wake hint: active when any leaf can deliver a completed batch,
+     * push staged records, or issue a new read.  A leaf whose batch is
+     * still in flight contributes the memory model's completion bound
+     * for its ticket; a leaf waiting on buffer space (or done) wakes
+     * only through external traffic.
+     */
+    sim::Cycle
+    nextWake(sim::Cycle now) const override
+    {
+        sim::Cycle wake = sim::kNeverWake;
+        for (const LeafState &leaf : leaves_) {
+            if (leaf.pending != mem::MemoryTiming::kInvalidTicket) {
+                if (memory_.complete(leaf.pending))
+                    return now;
+                wake = std::min(
+                    wake, memory_.completionCycle(leaf.pending));
+                continue;
+            }
+            if (leaf.stagedPos < leaf.staged.size()) {
+                if (!leaf.feed.buffer->full())
+                    return now;
+                continue; // waiting on downstream pops
+            }
+            if (canIssue(leaf))
+                return now;
+        }
+        return wake <= now ? now : wake;
+    }
+
     std::uint64_t batchesIssued() const { return batchesIssued_; }
 
   private:

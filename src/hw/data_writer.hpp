@@ -76,6 +76,29 @@ class DataWriter : public sim::Component
 
     bool quiescent() const override { return tickets_.empty(); }
 
+    /**
+     * Wake hint: active when input records can be consumed (write
+     * port not saturated) or the oldest outstanding write completed;
+     * otherwise the next self-timed event is that write's completion
+     * bound.  batchFill_ < batchRecords_ holds between ticks (full
+     * batches flush inside consume()), so the trailing
+     * maybeFlushBatch(false) is never the reason to wake.
+     */
+    sim::Cycle
+    nextWake(sim::Cycle now) const override
+    {
+        if (!in_.empty() && tickets_.size() < kMaxOutstanding)
+            return now;
+        if (!tickets_.empty()) {
+            if (memory_.complete(tickets_.front()))
+                return now;
+            const sim::Cycle wake =
+                memory_.completionCycle(tickets_.front());
+            return wake <= now ? now : wake;
+        }
+        return sim::kNeverWake;
+    }
+
     /** Output run boundaries, valid once finished(). */
     const std::vector<RunSpan> &
     runs() const

@@ -83,6 +83,46 @@ class Merger : public sim::Component
         return pipeline_.empty() && acc_.empty() && !aEnded_ && !bEnded_;
     }
 
+    /**
+     * Wake/sleep hint (sim/component.hpp).  The merger can act when a
+     * due pipeline group can drain, or when the intake path has work
+     * (a tuple/terminal to consume, or a run-pair flush in progress).
+     * Starved with a group in flight, the next self-timed event is
+     * that group's ready cycle; starved with an empty pipeline (or
+     * blocked on output space), only external traffic can wake it.
+     */
+    sim::Cycle
+    nextWake(sim::Cycle now) const override
+    {
+        if (!pipeline_.empty() && pipeline_.front().ready <= now) {
+            const Group &g = pipeline_.front();
+            const std::size_t need =
+                g.records.size() + (g.terminal ? 1 : 0);
+            // Due group blocked on output space: tick() returns from
+            // drainPipeline() without reaching the intake path, so it
+            // is a pure no-op until downstream pops.
+            return out_.freeSpace() >= need ? now : sim::kNeverWake;
+        }
+        if (intakeActive())
+            return now;
+        return pipeline_.empty() ? sim::kNeverWake
+                                 : pipeline_.front().ready;
+    }
+
+    /**
+     * Credit skipped cycles to the stall counter exactly as the naive
+     * ticks would have: every starved cycle stalls, except when a due
+     * group is blocked on output space (tick() bails out before the
+     * stall branch in that state).
+     */
+    void
+    onIdleCycles(sim::Cycle first, sim::Cycle count) override
+    {
+        if (!pipeline_.empty() && pipeline_.front().ready <= first)
+            return; // output-blocked, not starved
+        stallCycles_ += count;
+    }
+
     /** Cycles in which no tuple could be produced (starvation/stall). */
     std::uint64_t stallCycles() const { return stallCycles_; }
 
@@ -131,6 +171,24 @@ class Merger : public sim::Component
             out_.push(RecordT::terminal());
         pipeline_.pop_front();
         return true;
+    }
+
+    /** True when the post-drain part of tick() would make progress
+     *  (consume a terminal, absorb a tuple, or flush). */
+    bool
+    intakeActive() const
+    {
+        if (!aEnded_ && !inA_.empty() && inA_.front().isTerminal())
+            return true;
+        if (!bEnded_ && !inB_.empty() && inB_.front().isTerminal())
+            return true;
+        if (aEnded_ && bEnded_)
+            return true; // flushStep always progresses
+        if (aEnded_)
+            return tupleReady(inB_);
+        if (bEnded_)
+            return tupleReady(inA_);
+        return tupleReady(inA_) && tupleReady(inB_);
     }
 
     void

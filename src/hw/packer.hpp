@@ -60,6 +60,15 @@ class Unpacker : public sim::Component
         ++wordsMoved_;
     }
 
+    /** Needs room for a whole word downstream and data upstream. */
+    sim::Cycle
+    nextWake(sim::Cycle now) const override
+    {
+        return out_.freeSpace() >= recordsPerWord_ && !in_.empty()
+            ? now
+            : sim::kNeverWake;
+    }
+
     std::uint64_t wordsMoved() const { return wordsMoved_; }
     std::uint64_t recordsMoved() const { return recordsMoved_; }
 
@@ -123,6 +132,17 @@ class Packer : public sim::Component
     std::uint64_t flushes() const { return flushes_; }
 
     bool quiescent() const override { return fill_ == 0; }
+
+    /** fill_ < recordsPerWord_ holds between ticks, so the tick is a
+     *  no-op exactly when input is dry or the word + a potential
+     *  boundary marker cannot fit downstream. */
+    sim::Cycle
+    nextWake(sim::Cycle now) const override
+    {
+        return out_.freeSpace() >= recordsPerWord_ + 1 && !in_.empty()
+            ? now
+            : sim::kNeverWake;
+    }
 
   private:
     const unsigned recordsPerWord_;

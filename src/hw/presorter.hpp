@@ -79,6 +79,16 @@ class Presorter : public sim::Component
         return pending_.empty() && staged_.empty();
     }
 
+    /** Active when staged output can drain or fresh input can be
+     *  consumed; otherwise only external traffic wakes it. */
+    sim::Cycle
+    nextWake(sim::Cycle now) const override
+    {
+        if (!staged_.empty())
+            return out_.full() ? sim::kNeverWake : now;
+        return in_.empty() ? sim::kNeverWake : now;
+    }
+
   private:
     void
     flushChunk()

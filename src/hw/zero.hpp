@@ -54,6 +54,17 @@ class ZeroAppend : public sim::Component
         }
     }
 
+    /** Active when it can emit a due terminal or forward a record. */
+    sim::Cycle
+    nextWake(sim::Cycle now) const override
+    {
+        if (out_.full())
+            return sim::kNeverWake;
+        if (sinceTerminal_ == runLength_ || !in_.empty())
+            return now;
+        return sim::kNeverWake;
+    }
+
   private:
     const unsigned width_;
     const std::uint64_t runLength_;
@@ -89,6 +100,13 @@ class ZeroFilter : public sim::Component
             }
             out_.push(r);
         }
+    }
+
+    /** Pure forwarder: active exactly when a record can move. */
+    sim::Cycle
+    nextWake(sim::Cycle now) const override
+    {
+        return !in_.empty() && !out_.full() ? now : sim::kNeverWake;
     }
 
     /** Number of terminal records filtered (= completed runs). */

@@ -8,11 +8,26 @@
  * (1-4 KB reads are required for peak bandwidth, Section II).  Data
  * never lives here — the simulator keeps record payloads in host
  * vectors; this model answers only "when does this transfer finish".
+ *
+ * Requests are scheduled in closed form the moment they reach the head
+ * of their bank queue: activation latency elapses from arrival
+ * (pipelined, so it hides under earlier transfers), the non-pipelined
+ * turnaround occupies the bank for requestOverhead cycles, and the
+ * transfer then drains at bankBytesPerCycle.  Because every future
+ * event is precomputed, the model advances lazily — tick() and
+ * onIdleCycles() both just move the synced-to cycle forward — and
+ * nextWake() hands the engine the exact cycle of the next head
+ * completion, which is what makes stall-heavy simulations fast-
+ * forwardable.  Byte counters are exact: after k drain cycles a
+ * request has served min(bytes, floor(k * rate)) bytes, and the
+ * completion cycle credits the exact remainder, so totals always equal
+ * the requested bytes (no fractional truncation loss).
  */
 
 #ifndef BONSAI_MEM_TIMING_HPP
 #define BONSAI_MEM_TIMING_HPP
 
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -24,6 +39,18 @@
 namespace bonsai::mem
 {
 
+/** How requests are assigned to banks. */
+enum class BankMapping
+{
+    /** bank = (addr / interleaveBytes) % numBanks — the bank-striped
+     *  placement a streaming design uses.  Streams hitting the same
+     *  stripe contend for the same bank. */
+    AddressInterleaved,
+    /** Ignore the address; spread requests round-robin per direction
+     *  (idealized perfectly balanced placement). */
+    RoundRobin,
+};
+
 /** Static timing parameters of one off-chip memory. */
 struct MemTimingConfig
 {
@@ -31,10 +58,8 @@ struct MemTimingConfig
     /** Per-bank, per-direction service rate in bytes per cycle.
      *  8 GB/s at 250 MHz = 32 bytes/cycle. */
     double bankBytesPerCycle = 32.0;
-    /** Stripe granularity the streams are laid out at.  Requests are
-     *  assigned to banks round-robin per channel, modeling the
-     *  bank-striped placement a streaming sorter uses to balance its
-     *  sequential batches across DIMMs. */
+    /** Stripe granularity the streams are laid out at; selects the
+     *  serving bank under BankMapping::AddressInterleaved. */
     std::uint64_t interleaveBytes = 4096;
     /** Fixed per-request latency (command/activation), cycles.
      *  Pipelined: it overlaps with earlier transfers on the bank. */
@@ -43,6 +68,9 @@ struct MemTimingConfig
      *  cycles.  NOT pipelined — this is what batched 1-4 KB accesses
      *  amortize to reach peak bandwidth (Section II). */
     std::uint64_t requestOverhead = 2;
+    /** Bank selection policy (address-interleaved by default;
+     *  round-robin kept as an idealized opt-in fallback). */
+    BankMapping bankMapping = BankMapping::AddressInterleaved;
 };
 
 /**
@@ -59,28 +87,28 @@ class MemoryTiming : public sim::Component
     static constexpr Ticket kInvalidTicket = 0;
 
     MemoryTiming(std::string name, const MemTimingConfig &cfg)
-        : Component(std::move(name)), cfg_(cfg),
-          banks_(cfg.numBanks)
+        : Component(std::move(name)), cfg_(cfg), banks_(cfg.numBanks)
     {
         BONSAI_REQUIRE(cfg.numBanks > 0, "need at least one bank");
         BONSAI_REQUIRE(cfg.bankBytesPerCycle > 0.0,
                        "bank service rate must be positive");
+        BONSAI_REQUIRE(cfg.bankMapping != BankMapping::AddressInterleaved ||
+                           cfg.interleaveBytes > 0,
+                       "address interleaving needs a stripe size");
     }
 
     /** Enqueue a batched read of @p bytes at @p addr. */
     Ticket
     requestRead(std::uint64_t addr, std::uint64_t bytes)
     {
-        return enqueue(banks_[readCursor_++ % banks_.size()].read,
-                       bytes, addr);
+        return enqueue(bankFor(addr, readCursor_), false, bytes);
     }
 
     /** Enqueue a batched write of @p bytes at @p addr. */
     Ticket
     requestWrite(std::uint64_t addr, std::uint64_t bytes)
     {
-        return enqueue(banks_[writeCursor_++ % banks_.size()].write,
-                       bytes, addr);
+        return enqueue(bankFor(addr, writeCursor_), true, bytes);
     }
 
     /** True once the ticket's transfer has fully completed. */
@@ -92,14 +120,52 @@ class MemoryTiming : public sim::Component
         return completed_[t - 1];
     }
 
+    /**
+     * Lower bound on the cycle during which @p t's completion becomes
+     * visible (exact when @p t heads its queue; its queue head's
+     * completion otherwise).  Strictly in the future while the ticket
+     * is incomplete and the model is synced to the current cycle, so
+     * consumers can use it directly as a wake hint.  Returns 0 for a
+     * completed ticket.
+     */
+    sim::Cycle
+    completionCycle(Ticket t) const
+    {
+        BONSAI_REQUIRE(t != kInvalidTicket && t <= nextTicket_,
+                       "unknown transfer ticket");
+        if (completed_[t - 1])
+            return 0;
+        const Queue &q = queueOf(ticketQueue_[t - 1]);
+        BONSAI_INVARIANT(!q.requests.empty(),
+                         "incomplete ticket must be queued");
+        return q.requests.front().complete;
+    }
+
     void
     tick(sim::Cycle now) override
     {
-        for (Bank &bank : banks_) {
-            serveQueue(bank.read, bytesRead_);
-            serveQueue(bank.write, bytesWritten_);
+        advanceTo(now + 1);
+    }
+
+    sim::Cycle
+    nextWake(sim::Cycle now) const override
+    {
+        sim::Cycle wake = sim::kNeverWake;
+        for (const Bank &bank : banks_) {
+            if (!bank.read.requests.empty())
+                wake = std::min(wake,
+                                bank.read.requests.front().complete);
+            if (!bank.write.requests.empty())
+                wake = std::min(wake,
+                                bank.write.requests.front().complete);
         }
-        (void)now;
+        return wake <= now ? now : wake;
+    }
+
+    void
+    onIdleCycles(sim::Cycle first, sim::Cycle count) override
+    {
+        advanceTo(first + count);
     }
 
     bool
@@ -120,16 +186,25 @@ class MemoryTiming : public sim::Component
   private:
     struct Request
     {
-        Ticket ticket;
-        double bytesLeft;
-        std::uint64_t latencyLeft;
-        std::uint64_t occupancyLeft;
+        Ticket ticket = kInvalidTicket;
+        std::uint64_t bytes = 0;
+        /** First cycle the model could serve the request (enqueue
+         *  visibility): latency elapses from here, pipelined. */
+        sim::Cycle arrival = 0;
+        /** First drain cycle (valid once scheduled at queue head). */
+        sim::Cycle drainStart = 0;
+        /** Cycle during which the last byte transfers. */
+        sim::Cycle complete = 0;
+        /** Bytes already credited to the direction counter. */
+        std::uint64_t counted = 0;
     };
 
     struct Queue
     {
         std::deque<Request> requests;
-        double credit = 0.0; ///< fractional bytes/cycle accumulator
+        /** Earliest cycle the next head may start its turnaround
+         *  (previous completion + 1; bank serialization). */
+        sim::Cycle nextStart = 0;
     };
 
     struct Bank
@@ -138,68 +213,137 @@ class MemoryTiming : public sim::Component
         Queue write;
     };
 
-    Ticket
-    enqueue(Queue &q, std::uint64_t bytes, std::uint64_t)
+    std::size_t
+    bankFor(std::uint64_t addr, std::size_t &cursor) const
     {
+        if (cfg_.bankMapping == BankMapping::RoundRobin)
+            return cursor++ % banks_.size();
+        return static_cast<std::size_t>(
+            (addr / cfg_.interleaveBytes) % banks_.size());
+    }
+
+    Queue &
+    queueOf(std::uint32_t id)
+    {
+        Bank &bank = banks_[id >> 1];
+        return (id & 1u) != 0 ? bank.write : bank.read;
+    }
+
+    const Queue &
+    queueOf(std::uint32_t id) const
+    {
+        const Bank &bank = banks_[id >> 1];
+        return (id & 1u) != 0 ? bank.write : bank.read;
+    }
+
+    /** Drain cycles needed: smallest k with floor(k * rate) >= bytes
+     *  (consistent with the served-bytes formula). */
+    std::uint64_t
+    drainCycles(std::uint64_t bytes) const
+    {
+        const double rate = cfg_.bankBytesPerCycle;
+        auto served = [&](std::uint64_t k) {
+            return static_cast<std::uint64_t>(
+                std::floor(static_cast<double>(k) * rate));
+        };
+        std::uint64_t k = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(bytes) / rate));
+        if (k == 0)
+            k = 1;
+        while (served(k) < bytes)
+            ++k;
+        while (k > 1 && served(k - 1) >= bytes)
+            --k;
+        return k;
+    }
+
+    /** Bytes served after @p k drain cycles. */
+    std::uint64_t
+    servedAfter(const Request &req, std::uint64_t k) const
+    {
+        const std::uint64_t by_rate = static_cast<std::uint64_t>(
+            std::floor(static_cast<double>(k) * cfg_.bankBytesPerCycle));
+        return by_rate < req.bytes ? by_rate : req.bytes;
+    }
+
+    /** Fix the head request's turnaround/drain/completion schedule. */
+    void
+    schedule(Queue &q, Request &req) const
+    {
+        const sim::Cycle ready = req.arrival + cfg_.requestLatency;
+        const sim::Cycle start =
+            ready > q.nextStart ? ready : q.nextStart;
+        req.drainStart = start + cfg_.requestOverhead;
+        req.complete = req.drainStart + drainCycles(req.bytes) - 1;
+    }
+
+    Ticket
+    enqueue(std::size_t bank_idx, bool is_write, std::uint64_t bytes)
+    {
+        BONSAI_REQUIRE(bytes > 0, "zero-byte transfer request");
+        Bank &bank = banks_[bank_idx];
+        Queue &q = is_write ? bank.write : bank.read;
         const Ticket t = ++nextTicket_;
         completed_.push_back(false);
-        q.requests.push_back({t, static_cast<double>(bytes),
-                              cfg_.requestLatency,
-                              cfg_.requestOverhead});
-        return t;
+        ticketQueue_.push_back(static_cast<std::uint32_t>(
+            (bank_idx << 1) | (is_write ? 1u : 0u)));
+        Request req;
+        req.ticket = t;
+        req.bytes = bytes;
+        req.arrival = syncedTo_;
+        if (q.requests.empty())
+            schedule(q, req);
+        q.requests.push_back(req);
+        return req.ticket;
+    }
+
+    /** Simulate all cycles < @p t (completions, byte accounting). */
+    void
+    advanceTo(sim::Cycle t)
+    {
+        if (t <= syncedTo_)
+            return;
+        for (Bank &bank : banks_) {
+            serveQueue(bank.read, t, bytesRead_);
+            serveQueue(bank.write, t, bytesWritten_);
+        }
+        syncedTo_ = t;
     }
 
     void
-    serveQueue(Queue &q, std::uint64_t &bytes_counter)
+    serveQueue(Queue &q, sim::Cycle t, std::uint64_t &bytes_counter)
     {
-        if (q.requests.empty()) {
-            q.credit = 0.0;
-            return;
-        }
-        // Activation latency elapses for every queued request in
-        // parallel (command pipelining): under streaming load the
-        // latency is fully hidden behind the previous transfer; an
-        // isolated request still waits the full latency.
-        const bool head_ready = q.requests.front().latencyLeft == 0;
-        for (Request &req : q.requests) {
-            if (req.latencyLeft > 0)
-                --req.latencyLeft;
-        }
-        if (!head_ready) {
-            q.credit = 0.0;
-            return;
-        }
-        // Bank turnaround: not overlapped with anything.
-        if (q.requests.front().occupancyLeft > 0) {
-            --q.requests.front().occupancyLeft;
-            q.credit = 0.0;
-            return;
-        }
-        q.credit += cfg_.bankBytesPerCycle;
-        while (!q.requests.empty()) {
-            Request &req = q.requests.front();
-            if (req.latencyLeft > 0 || req.occupancyLeft > 0)
-                return; // next request not yet activated
-            if (q.credit < req.bytesLeft) {
-                req.bytesLeft -= q.credit;
-                bytes_counter += static_cast<std::uint64_t>(q.credit);
-                q.credit = 0.0;
-                return;
-            }
-            q.credit -= req.bytesLeft;
-            bytes_counter += static_cast<std::uint64_t>(req.bytesLeft);
-            completed_[req.ticket - 1] = true;
+        while (!q.requests.empty() && q.requests.front().complete < t) {
+            Request &head = q.requests.front();
+            bytes_counter += head.bytes - head.counted;
+            completed_[head.ticket - 1] = true;
+            q.nextStart = head.complete + 1;
             q.requests.pop_front();
+            if (!q.requests.empty())
+                schedule(q, q.requests.front());
         }
-        q.credit = 0.0; // no pending work, discard leftover credit
+        if (q.requests.empty())
+            return;
+        // Partial progress of the in-flight head, so byte counters are
+        // exact at any observation cycle.
+        Request &head = q.requests.front();
+        if (t <= head.drainStart)
+            return;
+        const std::uint64_t served =
+            servedAfter(head, t - head.drainStart);
+        bytes_counter += served - head.counted;
+        head.counted = served;
     }
 
     MemTimingConfig cfg_;
     std::vector<Bank> banks_;
     std::vector<bool> completed_;
+    std::vector<std::uint32_t> ticketQueue_; ///< per-ticket queue id
     Ticket nextTicket_ = 0;
     std::size_t readCursor_ = 0;
     std::size_t writeCursor_ = 0;
+    /** Next cycle not yet simulated; all events < syncedTo_ applied. */
+    sim::Cycle syncedTo_ = 0;
     std::uint64_t bytesRead_ = 0;
     std::uint64_t bytesWritten_ = 0;
 };

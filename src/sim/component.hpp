@@ -6,6 +6,34 @@
  * Components communicate exclusively through bounded Fifo channels, so
  * tick order only shifts hop latencies by at most one cycle and never
  * affects functional behaviour.
+ *
+ * Wake/sleep contract (the activity-driven engine, docs/ARCHITECTURE.md
+ * "Wake/sleep scheduling"): a component may opt into being skipped on
+ * cycles where its tick would be a no-op by overriding nextWake() and
+ * onIdleCycles().  The contract a skippable component must satisfy:
+ *
+ *  - nextWake(now) > now promises that for every cycle c in
+ *    [now, nextWake(now)), tick(c) would change nothing observable —
+ *    no FIFO traffic, no completion flags, no state another component
+ *    or the completion predicate can see — *provided no other
+ *    component acts on shared state first*.  The engine evaluates
+ *    hints in registration order, interleaved with ticking, so a hint
+ *    is always computed against exactly the state the naive tick would
+ *    have seen.
+ *  - onIdleCycles(first, count) must perform whatever pure
+ *    bookkeeping `count` consecutive no-op ticks starting at `first`
+ *    would have done (stall counters, internal clocks), so statistics
+ *    stay cycle-exact under skipping.  It must not touch shared state.
+ *  - Hints may be conservative (waking early is always sound: the
+ *    extra tick is the same no-op the naive engine would have run);
+ *    they must never be late.
+ *  - kNeverWake means only another component's action can make the
+ *    next tick a non-no-op (e.g. waiting for FIFO space or data).
+ *    The engine re-evaluates hints every processed cycle, so the
+ *    external change is picked up the cycle it happens.
+ *
+ * The default implementation (nextWake == now) keeps every legacy
+ * component permanently active — bit-identical to the naive engine.
  */
 
 #ifndef BONSAI_SIM_COMPONENT_HPP
@@ -21,6 +49,10 @@ namespace bonsai::sim
 /** Simulation time in cycles. */
 using Cycle = std::uint64_t;
 
+/** Wake hint: no self-timed event pending; only an external change
+ *  (another component's push/pop) can make the next tick matter. */
+inline constexpr Cycle kNeverWake = static_cast<Cycle>(-1);
+
 /** A clocked hardware block. */
 class Component
 {
@@ -33,6 +65,31 @@ class Component
 
     /** Advance one clock cycle. */
     virtual void tick(Cycle now) = 0;
+
+    /**
+     * Earliest cycle >= now at which tick() could do observable work
+     * given the shared state as currently visible (see the wake/sleep
+     * contract above).  Return now to be ticked this cycle; a later
+     * cycle or kNeverWake to be skipped.  Must be side-effect free.
+     */
+    virtual Cycle
+    nextWake(Cycle now) const
+    {
+        (void)now;
+        return now; // default: always active (naive behaviour)
+    }
+
+    /**
+     * Credit the bookkeeping of @p count skipped no-op ticks covering
+     * cycles [first, first + count).  Called instead of tick() for
+     * every skipped cycle (possibly batched during a fast-forward).
+     */
+    virtual void
+    onIdleCycles(Cycle first, Cycle count)
+    {
+        (void)first;
+        (void)count;
+    }
 
     /**
      * True when the component has no buffered state left to emit.  The

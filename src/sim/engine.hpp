@@ -2,52 +2,167 @@
  * @file
  * Cycle-driven simulation engine.
  *
- * The engine owns nothing; it ticks registered components in
+ * The engine owns nothing; it advances registered components in
  * registration order, one cycle at a time, until a user-supplied
  * completion predicate holds (or a cycle budget is exhausted, which is
  * reported as a deadlock/runaway error to the caller).
+ *
+ * Two execution strategies produce cycle-identical results:
+ *
+ *  - runReference(): the naive loop — tick every component every
+ *    cycle, evaluate the predicate after every cycle.
+ *  - run(): activity-driven.  Per cycle, each component's nextWake()
+ *    hint is evaluated *in registration order, interleaved with
+ *    ticking*, so a hint always sees exactly the state the naive tick
+ *    would have seen; components hinting past the current cycle are
+ *    credited via onIdleCycles() instead of ticked.  When every
+ *    component is dormant (and completion sources are declared, see
+ *    addCompletionSource()), the engine fast-forwards now_ to the
+ *    minimum pending wake in one step, crediting the skipped span.
+ *    The completion predicate is evaluated only on cycles where a
+ *    completion source ticked (plus the first cycle of the run) —
+ *    sound because a predicate's value can only change when one of
+ *    its sources acts.
+ *
+ * With no completion sources declared, run() never fast-forwards and
+ * evaluates the predicate every cycle (predicates with side effects,
+ * e.g. tests that drain a FIFO inside the lambda, keep their exact
+ * naive semantics); per-cycle skipping still applies and is exact by
+ * the component contract (sim/component.hpp).
  */
 
 #ifndef BONSAI_SIM_ENGINE_HPP
 #define BONSAI_SIM_ENGINE_HPP
 
+#include <algorithm>
 #include <functional>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "sim/component.hpp"
 
 namespace bonsai::sim
 {
 
+/** Which run loop a harness drives (see SimEngine::run /
+ *  runReference).  Both produce identical results; FastForward skips
+ *  provably idle cycles. */
+enum class EngineMode
+{
+    FastForward,
+    Reference,
+};
+
 class SimEngine
 {
   public:
     /** Register a component; ticked in registration order. */
-    void add(Component *c) { components_.push_back(c); }
+    void add(Component *c) { components_.push_back({c, false}); }
+
+    /**
+     * Declare an already-registered component as a *completion
+     * source*: the completion predicate passed to run() may only
+     * change value when one of the declared sources ticks (typically
+     * the data writers).  Declaring at least one source enables
+     * predicate gating and all-dormant fast-forwarding.
+     */
+    void
+    addCompletionSource(Component *c)
+    {
+        for (Entry &e : components_) {
+            if (e.component == c) {
+                if (!e.source) {
+                    e.source = true;
+                    ++sources_;
+                }
+                return;
+            }
+        }
+        BONSAI_REQUIRE(false,
+                       "completion source must be registered first");
+    }
 
     /** Current cycle count. */
     Cycle now() const { return now_; }
 
+    /** Idle cycles skipped by fast-forward jumps so far. */
+    Cycle idleCyclesSkipped() const { return idleSkipped_; }
+
     /** Result of a run() call. */
     struct RunResult
     {
-        Cycle cycles = 0;     ///< Cycles elapsed during this run.
+        Cycle cycles = 0;      ///< Cycles elapsed during this run.
         bool finished = false; ///< Completion predicate became true.
     };
 
     /**
-     * Tick all components until @p finished returns true.
+     * Advance components until @p finished returns true, skipping
+     * cycles no component can act in (activity-driven; see file
+     * comment for the equivalence argument).
      *
-     * @param finished Completion predicate, evaluated after each cycle.
-     * @param max_cycles Budget; exceeding it returns finished = false.
+     * @param finished Completion predicate.  With completion sources
+     *        declared it is evaluated after cycles where a source
+     *        ticked (and after the first cycle); otherwise after
+     *        every cycle, exactly like runReference().
+     * @param max_cycles Budget; exceeding it returns finished = false
+     *        with cycles == max_cycles (never overshoots, even when a
+     *        fast-forward jump would cross the budget).
      */
     RunResult
     run(const std::function<bool()> &finished, Cycle max_cycles)
     {
-        Cycle start = now_;
+        const Cycle start = now_;
         while (now_ - start < max_cycles) {
-            for (Component *c : components_)
-                c->tick(now_);
+            bool any_active = false;
+            bool source_active = (sources_ == 0) || (now_ == start);
+            Cycle wake = kNeverWake;
+            for (Entry &e : components_) {
+                const Cycle w = e.component->nextWake(now_);
+                if (w <= now_) {
+                    e.component->tick(now_);
+                    any_active = true;
+                    source_active |= e.source;
+                } else {
+                    e.component->onIdleCycles(now_, 1);
+                    wake = std::min(wake, w);
+                }
+            }
+            ++now_;
+            if (source_active && finished())
+                return {now_ - start, true};
+            if (any_active || sources_ == 0)
+                continue;
+            // Every component dormant and the predicate cannot change
+            // until a source acts: jump to the earliest pending wake
+            // (or burn the rest of the budget when nothing is
+            // self-timed — the naive loop would idle to the budget
+            // too).
+            const Cycle horizon = start + max_cycles;
+            const Cycle target =
+                wake == kNeverWake ? horizon : std::min(wake, horizon);
+            if (target > now_) {
+                const Cycle span = target - now_;
+                for (Entry &e : components_)
+                    e.component->onIdleCycles(now_, span);
+                idleSkipped_ += span;
+                now_ = target;
+            }
+        }
+        return {now_ - start, false};
+    }
+
+    /**
+     * The naive loop: tick all components every cycle, evaluate the
+     * predicate after each cycle.  Kept as the behavioural reference
+     * for the fast-forward equivalence harness.
+     */
+    RunResult
+    runReference(const std::function<bool()> &finished, Cycle max_cycles)
+    {
+        const Cycle start = now_;
+        while (now_ - start < max_cycles) {
+            for (Entry &e : components_)
+                e.component->tick(now_);
             ++now_;
             if (finished())
                 return {now_ - start, true};
@@ -55,9 +170,27 @@ class SimEngine
         return {now_ - start, false};
     }
 
+    /** Dispatch on @p mode (harness convenience). */
+    RunResult
+    run(const std::function<bool()> &finished, Cycle max_cycles,
+        EngineMode mode)
+    {
+        return mode == EngineMode::Reference
+            ? runReference(finished, max_cycles)
+            : run(finished, max_cycles);
+    }
+
   private:
-    std::vector<Component *> components_;
+    struct Entry
+    {
+        Component *component = nullptr;
+        bool source = false;
+    };
+
+    std::vector<Entry> components_;
+    std::size_t sources_ = 0;
     Cycle now_ = 0;
+    Cycle idleSkipped_ = 0;
 };
 
 } // namespace bonsai::sim

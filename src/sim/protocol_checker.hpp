@@ -298,6 +298,31 @@ class ProtocolChecker : public Component
             watch->check(now);
     }
 
+    /**
+     * Wake hint: the tick matters only when some quiescence watch
+     * would change state (or fire).  Channel monitors are driven by
+     * FIFO traffic, not by the tick, so they see every mutation
+     * whether or not the checker ticked this cycle.
+     */
+    Cycle
+    nextWake(Cycle now) const override
+    {
+        for (const auto &watch : quiescence_) {
+            if (watch->wouldAct())
+                return now;
+        }
+        return kNeverWake;
+    }
+
+    /** Keep the violation-stamp clock exact across skipped cycles:
+     *  monitors consulted later in a skipped cycle must stamp with
+     *  that cycle, just as if the checker had ticked. */
+    void
+    onIdleCycles(Cycle first, Cycle count) override
+    {
+        now_ = first + count - 1;
+    }
+
     /** The checker holds no stream state of its own. */
     bool quiescent() const override { return true; }
 
@@ -327,6 +352,8 @@ class ProtocolChecker : public Component
     {
         virtual ~QuiescenceWatchBase() = default;
         virtual void check(Cycle now) = 0;
+        /** Would check() change state or fire right now? */
+        virtual bool wouldAct() const = 0;
         virtual bool componentQuiescent() const = 0;
         virtual const std::string &componentName() const = 0;
     };
@@ -349,16 +376,33 @@ class ProtocolChecker : public Component
             return total;
         }
 
+        bool
+        starvedNow() const
+        {
+            if (!component->quiescent())
+                return false;
+            for (const Fifo<T> *in : inputs) {
+                if (!in->empty())
+                    return false;
+            }
+            return true;
+        }
+
+        /** Mirror of check()'s decision tree: a state transition
+         *  (settling either way) or a pending violation. */
+        bool
+        wouldAct() const override
+        {
+            const bool starved = starvedNow();
+            if (starved != settled)
+                return true;
+            return settled && outputPushes() != settledPushes;
+        }
+
         void
         check(Cycle now) override
         {
-            bool starved = component->quiescent();
-            for (const Fifo<T> *in : inputs) {
-                if (!in->empty()) {
-                    starved = false;
-                    break;
-                }
-            }
+            const bool starved = starvedNow();
             if (!starved) {
                 settled = false;
                 return;

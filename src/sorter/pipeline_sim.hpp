@@ -67,6 +67,8 @@ class PipelineSimSorter
         std::uint64_t maxCyclesPerSlot = 0; ///< 0 = auto bound
         /** Wire a ProtocolChecker over every tree (see SimSorter). */
         bool checked = false;
+        /** Engine strategy (see SimSorter::Options::engine). */
+        sim::EngineMode engine = sim::EngineMode::FastForward;
     };
 
     explicit PipelineSimSorter(const Options &opts) : opts_(opts)
@@ -138,6 +140,10 @@ class PipelineSimSorter
         std::vector<std::unique_ptr<hw::DataWriter<RecordT>>> writers;
         std::vector<ChunkState *> touched;
         std::uint64_t slot_records = 0;
+        // Concurrent stages model disjoint DRAM regions: give every
+        // active chunk its own address window so bank striping sees
+        // distinct stripes (not every loader aliased onto address 0).
+        std::uint64_t addr_cursor = 0;
 
         for (unsigned stage = 0; stage < depth; ++stage) {
             if (stage > slot)
@@ -170,14 +176,20 @@ class PipelineSimSorter
                 feed.runs = plan.leafRuns(j);
                 feeds.push_back(std::move(feed));
             }
+            const std::uint64_t chunk_bytes =
+                cs.buffers[cs.liveIdx].size() * opts_.recordBytes;
+            const std::uint64_t read_base = addr_cursor;
+            const std::uint64_t write_base = addr_cursor + chunk_bytes;
+            addr_cursor += 2 * chunk_bytes;
+
             // Stage 0 streams in over the I/O bus (Figure 4 step 1);
             // interior stages read DRAM.
             auto loader = std::make_unique<hw::DataLoader<RecordT>>(
                 "loader",
                 std::span<const RecordT>(cs.buffers[cs.liveIdx]),
                 std::move(feeds), stage == 0 ? io : dram,
-                batch_records, stage == 0 ? opts_.presortRun : 0, 0,
-                opts_.recordBytes);
+                batch_records, stage == 0 ? opts_.presortRun : 0,
+                read_base, opts_.recordBytes);
 
             // The final stage streams out over the I/O bus (step 6);
             // interior stages write DRAM.
@@ -186,7 +198,8 @@ class PipelineSimSorter
                 "writer", tree->rootOutput(),
                 std::span<RecordT>(cs.buffers[1 - cs.liveIdx]),
                 last ? io : dram, opts_.config.p, plan.totalRecords(),
-                plan.groups(), batch_records, 0, opts_.recordBytes);
+                plan.groups(), batch_records, write_base,
+                opts_.recordBytes);
 
             amts.push_back(std::move(tree));
             loaders.push_back(std::move(loader));
@@ -201,8 +214,10 @@ class PipelineSimSorter
 
         engine.add(&dram);
         engine.add(&io);
-        for (auto &writer : writers)
+        for (auto &writer : writers) {
             engine.add(writer.get());
+            engine.addCompletionSource(writer.get());
+        }
         for (auto &tree : amts)
             tree->registerWith(engine);
         for (auto &loader : loaders)
@@ -218,7 +233,7 @@ class PipelineSimSorter
         std::uint64_t budget = opts_.maxCyclesPerSlot;
         if (budget == 0)
             budget = 100'000 + slot_records * 64;
-        const auto result = engine.run(done, budget);
+        const auto result = engine.run(done, budget, opts_.engine);
         stats.totalCycles += result.cycles;
         for (ChunkState *cs : touched)
             cs->liveIdx = 1 - cs->liveIdx;

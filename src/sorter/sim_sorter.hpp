@@ -105,6 +105,11 @@ class SimSorter
          *  stream contracts are verified every cycle and a finalize
          *  pass checks terminal counts and quiescence per stage. */
         bool checked = false;
+        /** Engine strategy.  FastForward skips provably idle cycles;
+         *  Reference is the naive every-component-every-cycle loop.
+         *  Both produce identical cycle counts, stall statistics and
+         *  output bytes (pinned by the equivalence harness). */
+        sim::EngineMode engine = sim::EngineMode::FastForward;
     };
 
     explicit SimSorter(const Options &opts) : opts_(opts)
@@ -357,8 +362,14 @@ class SimSorter
         }
 
         engine.add(&memory);
-        for (auto &writer : writers)
+        for (auto &writer : writers) {
             engine.add(writer.get());
+            // The stage is done exactly when every writer finished:
+            // declaring the writers as completion sources lets the
+            // fast-forward engine gate the predicate and jump over
+            // all-dormant stalls.
+            engine.addCompletionSource(writer.get());
+        }
         for (auto &tree : amts)
             tree->registerWith(engine);
         for (auto &loader : loaders)
@@ -375,7 +386,7 @@ class SimSorter
         if (budget == 0)
             budget = 100'000 + stage_records * 64;
         const sim::SimEngine::RunResult result =
-            engine.run(done, budget);
+            engine.run(done, budget, opts_.engine);
         stats.totalCycles += result.cycles;
         stats.stageCycles.push_back(result.cycles);
         ++stats.stages;

@@ -1,0 +1,110 @@
+/** @file Unit tests for the shared bench helpers. */
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "bench_util.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+TEST(SizeLabel, SubMegabyteUsesBytes)
+{
+    EXPECT_EQ(bench::sizeLabel(0), "0 B");
+    EXPECT_EQ(bench::sizeLabel(999'999), "999999 B");
+}
+
+TEST(SizeLabel, MegabyteRange)
+{
+    EXPECT_EQ(bench::sizeLabel(kMB), "1 MB");
+    EXPECT_EQ(bench::sizeLabel(512 * kMB), "512 MB");
+    // Non-multiple gigabytes truncate to MB (display-only helper).
+    EXPECT_EQ(bench::sizeLabel(1500 * kMB), "1500 MB");
+}
+
+TEST(SizeLabel, GigabyteMultiples)
+{
+    EXPECT_EQ(bench::sizeLabel(kGB), "1 GB");
+    EXPECT_EQ(bench::sizeLabel(4 * kGB), "4 GB");
+    EXPECT_EQ(bench::sizeLabel(999 * kGB), "999 GB");
+}
+
+TEST(SizeLabel, TerabyteMultiplesStayIntegral)
+{
+    EXPECT_EQ(bench::sizeLabel(kTB), "1 TB");
+    EXPECT_EQ(bench::sizeLabel(2 * kTB), "2 TB");
+    EXPECT_EQ(bench::sizeLabel(9 * kTB), "9 TB");
+}
+
+TEST(SizeLabel, FractionalTerabytesBelowTenKeepOneDecimal)
+{
+    // Regression: these used to fall through to a GB label
+    // ("1500 GB") because the >= 10 TB branch shadowed them.
+    EXPECT_EQ(bench::sizeLabel(1500 * kGB), "1.5 TB");
+    EXPECT_EQ(bench::sizeLabel(2500 * kGB), "2.5 TB");
+    EXPECT_EQ(bench::sizeLabel(9900 * kGB), "9.9 TB");
+}
+
+TEST(SizeLabel, TenTerabytesAndAboveRoundToWholeTB)
+{
+    // Regression: the >= 10 TB rounding branch must be reachable for
+    // exact multiples and near-multiples alike.
+    EXPECT_EQ(bench::sizeLabel(10 * kTB), "10 TB");
+    EXPECT_EQ(bench::sizeLabel(10 * kTB + 100 * kGB), "10 TB");
+    EXPECT_EQ(bench::sizeLabel(12 * kTB), "12 TB");
+    EXPECT_EQ(bench::sizeLabel(100 * kTB), "100 TB");
+}
+
+TEST(JsonReporter, WritesConfigAndPoints)
+{
+    bench::JsonReporter report("util_test");
+    report.config("p", std::uint64_t{16});
+    report.config("label", std::string("a \"quoted\" name"));
+    report.config("bandwidth_gbs", 12.5);
+    report.beginPoint();
+    report.field("cycles", std::uint64_t{123456});
+    report.field("seconds", 0.0005);
+    report.field("residual", -0.03);
+    report.beginPoint();
+    report.field("cycles", std::uint64_t{654321});
+
+    ASSERT_TRUE(report.write(::testing::TempDir()));
+    std::ifstream in(::testing::TempDir() + "/BENCH_util_test.json");
+    ASSERT_TRUE(in.good());
+    std::stringstream body;
+    body << in.rdbuf();
+    const std::string text = body.str();
+
+    EXPECT_NE(text.find("\"bench\": \"util_test\""), std::string::npos);
+    EXPECT_NE(text.find("\"p\": 16"), std::string::npos);
+    EXPECT_NE(text.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(text.find("\"bandwidth_gbs\": 12.5"), std::string::npos);
+    EXPECT_NE(text.find("\"cycles\": 123456"), std::string::npos);
+    EXPECT_NE(text.find("\"seconds\": 0.0005"), std::string::npos);
+    EXPECT_NE(text.find("\"residual\": -0.03"), std::string::npos);
+    EXPECT_NE(text.find("\"cycles\": 654321"), std::string::npos);
+    // Exactly two point objects.
+    std::size_t count = 0;
+    for (std::size_t at = text.find("\"cycles\"");
+         at != std::string::npos; at = text.find("\"cycles\"", at + 1))
+        ++count;
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(JsonReporter, EmptyPointsStillValid)
+{
+    bench::JsonReporter report("empty_test");
+    report.config("note", std::string("no points"));
+    ASSERT_TRUE(report.write(::testing::TempDir()));
+    std::ifstream in(::testing::TempDir() + "/BENCH_empty_test.json");
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_NE(body.str().find("\"points\": []"), std::string::npos);
+}
+
+} // namespace
+} // namespace bonsai

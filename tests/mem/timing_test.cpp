@@ -96,9 +96,12 @@ TEST(MemoryTiming, SingleBankRequestsSerialize)
 
 TEST(MemoryTiming, RoundRobinBalancesManyStreams)
 {
-    // 16 streams issuing batches must spread over all 4 banks: total
-    // service time approaches bytes / aggregate-rate.
-    mem::MemoryTiming memory("m", config(4, 32.0, 0));
+    // Opt-in round-robin fallback: 16 streams spread over all 4 banks
+    // regardless of their addresses, so total service time approaches
+    // bytes / aggregate-rate.
+    mem::MemTimingConfig cfg = config(4, 32.0, 0);
+    cfg.bankMapping = mem::BankMapping::RoundRobin;
+    mem::MemoryTiming memory("m", cfg);
     std::vector<mem::MemoryTiming::Ticket> tickets;
     for (unsigned i = 0; i < 16; ++i)
         tickets.push_back(memory.requestRead(i * 262144, 1024));
@@ -116,6 +119,76 @@ TEST(MemoryTiming, RoundRobinBalancesManyStreams)
     ASSERT_TRUE(result.finished);
     // 16 KB at 128 B/cycle aggregate = 128 cycles (+ slack).
     EXPECT_LE(result.cycles, 140u);
+}
+
+TEST(MemoryTiming, AddressInterleavingSpreadsStripes)
+{
+    // Default mapping derives the bank from the address: batches laid
+    // out across consecutive stripes land on all 4 banks in parallel.
+    mem::MemoryTiming memory("m", config(4, 32.0, 0));
+    std::vector<mem::MemoryTiming::Ticket> tickets;
+    for (unsigned i = 0; i < 16; ++i)
+        tickets.push_back(memory.requestRead(i * 1024, 1024));
+    sim::SimEngine engine;
+    engine.add(&memory);
+    const auto result = engine.run(
+        [&] {
+            for (auto t : tickets) {
+                if (!memory.complete(t))
+                    return false;
+            }
+            return true;
+        },
+        10000);
+    ASSERT_TRUE(result.finished);
+    EXPECT_LE(result.cycles, 140u);
+}
+
+TEST(MemoryTiming, SameStripeStreamsContendForOneBank)
+{
+    // Regression for the dead interleaveBytes config: two streams
+    // whose batches alias onto the same stripe (addresses congruent
+    // mod interleave * banks) must serialize on one bank instead of
+    // being spread round-robin.
+    mem::MemoryTiming memory("m", config(4, 32.0, 0));
+    std::vector<mem::MemoryTiming::Ticket> tickets;
+    for (unsigned i = 0; i < 8; ++i) {
+        tickets.push_back(memory.requestRead(i * 262144, 1024));
+        tickets.push_back(memory.requestRead(131072 + i * 262144, 1024));
+    }
+    sim::SimEngine engine;
+    engine.add(&memory);
+    const auto result = engine.run(
+        [&] {
+            for (auto t : tickets) {
+                if (!memory.complete(t))
+                    return false;
+            }
+            return true;
+        },
+        10000);
+    ASSERT_TRUE(result.finished);
+    // All 16 KB serialized behind bank 0 (aggregate rate unused):
+    // >= 16 requests x (32 transfer + 2 turnaround) cycles.
+    EXPECT_GE(result.cycles, 16u * 34u);
+}
+
+TEST(MemoryTiming, FractionalRateByteCountersAreExact)
+{
+    // Regression for the credit-truncation undercount: with a
+    // non-integral per-cycle rate the counters must still equal the
+    // requested bytes exactly.
+    mem::MemoryTiming memory("m", config(1, 2.5, 0));
+    const auto r = memory.requestRead(0, 1003);
+    const auto w = memory.requestWrite(0, 997);
+    sim::SimEngine engine;
+    engine.add(&memory);
+    const auto result = engine.run(
+        [&] { return memory.complete(r) && memory.complete(w); },
+        10000);
+    ASSERT_TRUE(result.finished);
+    EXPECT_EQ(memory.bytesRead(), 1003u);
+    EXPECT_EQ(memory.bytesWritten(), 997u);
 }
 
 TEST(MemoryTiming, ByteCountersAccumulate)

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Equivalence harness for the activity-driven engine: FastForward mode
+ * must be observationally identical to the naive Reference loop —
+ * cycle-identical RunResults and stall statistics, byte-identical
+ * sorted output — across the AMT/merger/loader/writer matrix, in both
+ * unchecked and checked (ProtocolChecker-wired) configurations.
+ *
+ * Also pins the fast-forward edge cases: a predicate that is true at
+ * cycle 0, a cycle budget exhausted mid-jump (no overshoot), and a
+ * component waking exactly at its hinted cycle.
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "sim/engine.hpp"
+#include "sorter/pipeline_sim.hpp"
+#include "sorter/sim_sorter.hpp"
+
+namespace bonsai
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Engine edge cases (toy components with explicit wake hints).
+// ---------------------------------------------------------------------
+
+/** Dormant until a fixed cycle, then ticks (and records) every cycle.
+ *  tick() is a no-op before the wake cycle, as the contract requires,
+ *  so Reference and FastForward runs observe the same history. */
+class Sleeper : public sim::Component
+{
+  public:
+    explicit Sleeper(sim::Cycle wake) : Component("sleeper"), wake_(wake)
+    {
+    }
+
+    sim::Cycle
+    nextWake(sim::Cycle now) const override
+    {
+        return std::max(now, wake_);
+    }
+
+    void
+    tick(sim::Cycle now) override
+    {
+        if (now >= wake_)
+            tickCycles.push_back(now);
+    }
+
+    void
+    onIdleCycles(sim::Cycle, sim::Cycle count) override
+    {
+        idleCredited += count;
+    }
+
+    std::vector<sim::Cycle> tickCycles;
+    sim::Cycle idleCredited = 0;
+
+  private:
+    sim::Cycle wake_;
+};
+
+TEST(EngineFastForward, PredicateTrueAtCycleZero)
+{
+    // The completion predicate is checked after the very first cycle
+    // even when every component (including the declared completion
+    // source) is dormant: both engines must return {1, finished}.
+    for (const auto mode :
+         {sim::EngineMode::Reference, sim::EngineMode::FastForward}) {
+        sim::SimEngine engine;
+        Sleeper sleeper(1000);
+        engine.add(&sleeper);
+        engine.addCompletionSource(&sleeper);
+        const auto result = engine.run([] { return true; }, 500, mode);
+        EXPECT_TRUE(result.finished);
+        EXPECT_EQ(result.cycles, 1u);
+        EXPECT_EQ(engine.now(), 1u);
+    }
+}
+
+TEST(EngineFastForward, BudgetExhaustedMidJumpDoesNotOvershoot)
+{
+    // Wake hint far beyond the budget: the jump target must clamp to
+    // start + max_cycles exactly, and every skipped cycle must be
+    // credited to the component's idle bookkeeping.
+    sim::SimEngine engine;
+    Sleeper sleeper(1000);
+    engine.add(&sleeper);
+    engine.addCompletionSource(&sleeper);
+    const auto result =
+        engine.run([] { return false; }, 100, sim::EngineMode::FastForward);
+    EXPECT_FALSE(result.finished);
+    EXPECT_EQ(result.cycles, 100u);
+    EXPECT_EQ(engine.now(), 100u);
+    EXPECT_TRUE(sleeper.tickCycles.empty());
+    EXPECT_EQ(sleeper.idleCredited, 100u);
+    EXPECT_EQ(engine.idleCyclesSkipped(), 99u);
+}
+
+TEST(EngineFastForward, ComponentWakesExactlyAtHintedCycle)
+{
+    // The first real tick after a jump must land exactly on the hinted
+    // cycle, and the run must match the Reference loop cycle for
+    // cycle.
+    sim::SimEngine ff;
+    Sleeper ff_sleeper(50);
+    ff.add(&ff_sleeper);
+    ff.addCompletionSource(&ff_sleeper);
+    const auto ff_result = ff.run(
+        [&] { return !ff_sleeper.tickCycles.empty(); }, 1000,
+        sim::EngineMode::FastForward);
+
+    sim::SimEngine ref;
+    Sleeper ref_sleeper(50);
+    ref.add(&ref_sleeper);
+    ref.addCompletionSource(&ref_sleeper);
+    const auto ref_result = ref.run(
+        [&] { return !ref_sleeper.tickCycles.empty(); }, 1000,
+        sim::EngineMode::Reference);
+
+    EXPECT_TRUE(ff_result.finished);
+    EXPECT_EQ(ff_result.cycles, ref_result.cycles);
+    EXPECT_EQ(ff_result.cycles, 51u);
+    ASSERT_EQ(ff_sleeper.tickCycles.size(), 1u);
+    EXPECT_EQ(ff_sleeper.tickCycles.front(), 50u);
+    EXPECT_EQ(ff_sleeper.tickCycles, ref_sleeper.tickCycles);
+    // Cycles 1..49 were jumped in one step; cycle 0 was skipped
+    // per-cycle (the engine only jumps once all components idle).
+    EXPECT_EQ(ff.idleCyclesSkipped(), 49u);
+    EXPECT_EQ(ff_sleeper.idleCredited, 50u);
+}
+
+TEST(EngineFastForward, NoCompletionSourceNeverJumps)
+{
+    // Without a declared completion source the engine must preserve
+    // exact naive semantics (side-effecting predicates rely on being
+    // evaluated every cycle) — no cycles may be skipped.
+    sim::SimEngine engine;
+    Sleeper sleeper(40);
+    engine.add(&sleeper);
+    const auto result = engine.run(
+        [&] { return !sleeper.tickCycles.empty(); }, 1000,
+        sim::EngineMode::FastForward);
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.cycles, 41u);
+    EXPECT_EQ(engine.idleCyclesSkipped(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Full-sorter equivalence matrix.
+// ---------------------------------------------------------------------
+
+struct SorterCase
+{
+    unsigned p;
+    unsigned ell;
+    unsigned lambdaUnrl;
+    double bankBytesPerCycle;
+    std::uint64_t requestLatency;
+    bool checked;
+    const char *label;
+};
+
+class SorterEquivalence : public ::testing::TestWithParam<SorterCase>
+{
+};
+
+sorter::SimSorter<Record>::Options
+sorterOptions(const SorterCase &c, sim::EngineMode mode)
+{
+    sorter::SimSorter<Record>::Options o;
+    o.config = amt::AmtConfig{c.p, c.ell, c.lambdaUnrl, 1};
+    o.mem.numBanks = 4;
+    o.mem.bankBytesPerCycle = c.bankBytesPerCycle;
+    o.mem.interleaveBytes = 1024;
+    o.mem.requestLatency = c.requestLatency;
+    o.batchBytes = 256;
+    o.recordBytes = 4;
+    o.presortRun = 16;
+    o.checked = c.checked;
+    o.engine = mode;
+    return o;
+}
+
+TEST_P(SorterEquivalence, FastForwardMatchesReferenceExactly)
+{
+    const SorterCase c = GetParam();
+    const auto input =
+        makeRecords(1 << 13, Distribution::UniformRandom, 7);
+
+    auto ref_data = input;
+    const auto ref_stats =
+        sorter::SimSorter<Record>(
+            sorterOptions(c, sim::EngineMode::Reference))
+            .sort(ref_data);
+
+    auto ff_data = input;
+    const auto ff_stats =
+        sorter::SimSorter<Record>(
+            sorterOptions(c, sim::EngineMode::FastForward))
+            .sort(ff_data);
+
+    ASSERT_TRUE(ref_stats.completed);
+    ASSERT_TRUE(ff_stats.completed);
+
+    // Cycle-identical aggregate and per-stage statistics.
+    EXPECT_EQ(ff_stats.totalCycles, ref_stats.totalCycles);
+    EXPECT_EQ(ff_stats.stages, ref_stats.stages);
+    EXPECT_EQ(ff_stats.stageCycles, ref_stats.stageCycles);
+    EXPECT_EQ(ff_stats.mergerStallCycles, ref_stats.mergerStallCycles);
+    EXPECT_EQ(ff_stats.bytesRead, ref_stats.bytesRead);
+    EXPECT_EQ(ff_stats.bytesWritten, ref_stats.bytesWritten);
+    ASSERT_EQ(ff_stats.stageReports.size(),
+              ref_stats.stageReports.size());
+    for (std::size_t s = 0; s < ff_stats.stageReports.size(); ++s) {
+        const auto &ff_report = ff_stats.stageReports[s];
+        const auto &ref_report = ref_stats.stageReports[s];
+        EXPECT_EQ(ff_report.cycles, ref_report.cycles) << "stage " << s;
+        EXPECT_EQ(ff_report.mergerStallCycles,
+                  ref_report.mergerStallCycles)
+            << "stage " << s;
+        EXPECT_EQ(ff_report.bytesRead, ref_report.bytesRead)
+            << "stage " << s;
+        EXPECT_EQ(ff_report.bytesWritten, ref_report.bytesWritten)
+            << "stage " << s;
+        EXPECT_EQ(ff_report.groups, ref_report.groups) << "stage " << s;
+    }
+
+    // Byte-identical output (and actually sorted).
+    ASSERT_EQ(ff_data.size(), ref_data.size());
+    EXPECT_TRUE(std::equal(ff_data.begin(), ff_data.end(),
+                           ref_data.begin(),
+                           [](const Record &a, const Record &b) {
+                               return a.key == b.key &&
+                                   a.value == b.value;
+                           }));
+    EXPECT_TRUE(std::is_sorted(ff_data.begin(), ff_data.end(),
+                               [](const Record &a, const Record &b) {
+                                   return a.key < b.key;
+                               }));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SorterEquivalence,
+    ::testing::Values(
+        SorterCase{4, 4, 1, 32.0, 8, false, "balanced"},
+        SorterCase{8, 16, 1, 32.0, 8, false, "wide"},
+        // Bandwidth-starved: long memory stalls are where fast-forward
+        // jumps dominate, so the stall-credit bookkeeping is stressed.
+        SorterCase{8, 16, 1, 2.0, 32, false, "stall_heavy"},
+        SorterCase{4, 4, 2, 16.0, 8, false, "unrolled"},
+        // Checked: ChannelMonitors and quiescence watches must observe
+        // the same per-cycle history under both engines.
+        SorterCase{4, 4, 1, 8.0, 8, true, "checked"},
+        SorterCase{8, 16, 1, 2.0, 32, true, "checked_stall_heavy"}),
+    [](const ::testing::TestParamInfo<SorterCase> &param_info) {
+        return param_info.param.label;
+    });
+
+TEST(PipelineEquivalence, FastForwardMatchesReferenceExactly)
+{
+    sorter::PipelineSimSorter<Record>::Options o;
+    o.config = amt::AmtConfig{4, 4, 1, 2};
+    o.dram.numBanks = 4;
+    o.dram.bankBytesPerCycle = 8.0;
+    o.dram.requestLatency = 16;
+    o.io.numBanks = 1;
+    o.io.bankBytesPerCycle = 4.0; // slow bus => stall-heavy
+    o.io.requestLatency = 32;
+    o.batchBytes = 256;
+    o.recordBytes = 4;
+    o.presortRun = 16;
+
+    auto make_chunks = [] {
+        std::vector<std::vector<Record>> chunks;
+        for (std::uint64_t seed = 0; seed < 3; ++seed)
+            chunks.push_back(makeRecords(
+                256, Distribution::UniformRandom, seed + 11));
+        return chunks;
+    };
+
+    o.engine = sim::EngineMode::Reference;
+    auto ref_chunks = make_chunks();
+    const auto ref_stats =
+        sorter::PipelineSimSorter<Record>(o).sortChunks(ref_chunks);
+
+    o.engine = sim::EngineMode::FastForward;
+    auto ff_chunks = make_chunks();
+    const auto ff_stats =
+        sorter::PipelineSimSorter<Record>(o).sortChunks(ff_chunks);
+
+    ASSERT_TRUE(ref_stats.completed);
+    ASSERT_TRUE(ff_stats.completed);
+    EXPECT_EQ(ff_stats.totalCycles, ref_stats.totalCycles);
+    EXPECT_EQ(ff_stats.slots, ref_stats.slots);
+    EXPECT_EQ(ff_stats.bytesIn, ref_stats.bytesIn);
+    ASSERT_EQ(ff_chunks.size(), ref_chunks.size());
+    for (std::size_t c = 0; c < ff_chunks.size(); ++c) {
+        ASSERT_EQ(ff_chunks[c].size(), ref_chunks[c].size());
+        EXPECT_TRUE(std::equal(
+            ff_chunks[c].begin(), ff_chunks[c].end(),
+            ref_chunks[c].begin(),
+            [](const Record &a, const Record &b) {
+                return a.key == b.key && a.value == b.value;
+            }))
+            << "chunk " << c;
+    }
+}
+
+TEST(PipelineEquivalence, CheckedPipelineMatches)
+{
+    sorter::PipelineSimSorter<Record>::Options o;
+    o.config = amt::AmtConfig{4, 4, 1, 2};
+    o.dram.numBanks = 2;
+    o.dram.bankBytesPerCycle = 16.0;
+    o.io.numBanks = 1;
+    o.io.bankBytesPerCycle = 16.0;
+    o.batchBytes = 256;
+    o.recordBytes = 4;
+    o.presortRun = 16;
+    o.checked = true;
+
+    auto chunk = makeRecords(512, Distribution::FewDistinct, 3);
+
+    o.engine = sim::EngineMode::Reference;
+    std::vector<std::vector<Record>> ref_chunks{chunk};
+    const auto ref_stats =
+        sorter::PipelineSimSorter<Record>(o).sortChunks(ref_chunks);
+
+    o.engine = sim::EngineMode::FastForward;
+    std::vector<std::vector<Record>> ff_chunks{chunk};
+    const auto ff_stats =
+        sorter::PipelineSimSorter<Record>(o).sortChunks(ff_chunks);
+
+    ASSERT_TRUE(ref_stats.completed);
+    ASSERT_TRUE(ff_stats.completed);
+    EXPECT_EQ(ff_stats.totalCycles, ref_stats.totalCycles);
+    EXPECT_TRUE(std::equal(
+        ff_chunks[0].begin(), ff_chunks[0].end(), ref_chunks[0].begin(),
+        [](const Record &a, const Record &b) {
+            return a.key == b.key && a.value == b.value;
+        }));
+}
+
+} // namespace
+} // namespace bonsai
