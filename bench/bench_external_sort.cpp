@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Out-of-core streaming sort benchmarks (google-benchmark).
+ *
+ * BM_StreamedVsInMemory prices what the streaming layer costs over the
+ * in-memory adapter on the same records and engine options: the
+ * streamed run sorts through two spill files and the bounded buffer
+ * pool, the in-memory run through the zero-copy Merge Path passes.
+ * The gap is the spill I/O plus whatever prefetch/write-back overlap
+ * fails to hide (the stall telemetry on the counters shows which).
+ *
+ * BM_StreamBatchSize sweeps the batch size b at a fixed pool budget —
+ * larger b means fewer, bigger I/O calls but a smaller effective
+ * fan-in (Equation 10's b * ell trade), so ms/GB is U-shaped.
+ *
+ * Run:  ./build/bench/bench_external_sort
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.hpp"
+#include "io/run_store.hpp"
+#include "io/stream.hpp"
+#include "sorter/external.hpp"
+
+namespace
+{
+
+using namespace bonsai;
+
+sorter::StreamEngine<Record>::Options
+engineOptions(std::uint64_t batch_records)
+{
+    sorter::StreamEngine<Record>::Options opt;
+    opt.phase1Ell = 16;
+    opt.phase2Ell = 16;
+    opt.chunkRecords = 1 << 16; // 1 MiB chunks
+    opt.batchRecords = batch_records;
+    opt.bufferBudgetBytes = 4ULL << 20;
+    opt.threads = 2;
+    return opt;
+}
+
+void
+BM_StreamedVsInMemory(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const bool streamed = state.range(1) != 0;
+    const auto input =
+        makeRecords(n, Distribution::UniformRandom, 1234);
+    const sorter::StreamEngine<Record> engine(engineOptions(1 << 12));
+
+    sorter::StreamStats last;
+    for (auto _ : state) {
+        if (streamed) {
+            io::MemorySource<Record> source{
+                std::span<const Record>(input)};
+            std::vector<Record> out;
+            out.reserve(n);
+            io::MemorySink<Record> sink(out);
+            io::FileRunStore<Record> front;
+            io::FileRunStore<Record> back;
+            last = engine.sortStream(source, sink, front, back);
+            benchmark::DoNotOptimize(out.data());
+        } else {
+            auto data = input;
+            last = engine.sortInPlace(data);
+            benchmark::DoNotOptimize(data.data());
+        }
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n *
+        sizeof(Record));
+    state.counters["merge_passes"] =
+        static_cast<double>(last.mergePasses);
+    state.counters["read_stall_ms"] = last.readStallSeconds * 1e3;
+    state.counters["write_stall_ms"] = last.writeStallSeconds * 1e3;
+}
+
+void
+BM_StreamBatchSize(benchmark::State &state)
+{
+    const std::size_t n = 1 << 21; // 32 MiB of records
+    const std::uint64_t batch =
+        static_cast<std::uint64_t>(state.range(0));
+    const auto input =
+        makeRecords(n, Distribution::UniformRandom, 77);
+    const sorter::StreamEngine<Record> engine(engineOptions(batch));
+
+    sorter::StreamStats last;
+    for (auto _ : state) {
+        io::MemorySource<Record> source{
+            std::span<const Record>(input)};
+        std::vector<Record> out;
+        out.reserve(n);
+        io::MemorySink<Record> sink(out);
+        io::FileRunStore<Record> front;
+        io::FileRunStore<Record> back;
+        last = engine.sortStream(source, sink, front, back);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n *
+        sizeof(Record));
+    state.counters["batch_records"] = static_cast<double>(batch);
+    state.counters["effective_ell"] =
+        static_cast<double>(last.effectiveEll);
+}
+
+BENCHMARK(BM_StreamedVsInMemory)
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 22, 0})
+    ->Args({1 << 22, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_StreamBatchSize)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Arg(1 << 15) // 8-buffer pool: fan-in squeezed to 3
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -41,6 +41,19 @@ struct GensortRecord
         }
         return false;
     }
+
+    /** The reserved all-zero record (Section V-B flush sentinel) —
+     *  lets 100-byte records flow through the streaming sorter, whose
+     *  boundary rejects terminals in user data. */
+    bool
+    isTerminal() const
+    {
+        for (const std::uint8_t b : bytes) {
+            if (b != 0)
+                return false;
+        }
+        return true;
+    }
 };
 
 /** FNV-1a hash of a byte range, truncated to 48 bits (the paper's

@@ -37,6 +37,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -193,6 +195,102 @@ class ThreadPool
     std::uint64_t generation_ = 0;
     std::atomic<std::uint64_t> next_{0}; ///< shared task index space
     bool stop_ = false;
+};
+
+/**
+ * One persistent background thread executing posted closures in FIFO
+ * order — the I/O side of the streaming sorter's double buffering.
+ * The out-of-core engine (sorter/external.hpp) posts spill writes and
+ * run prefetches here so storage traffic overlaps merge compute on
+ * the submitting thread; completion of an individual task is signaled
+ * through state owned by the closure itself (see io::TaskGate).
+ *
+ * Tasks should not throw: an escaped exception is captured and
+ * rethrown from the next drain() call (the destructor discards it),
+ * but any completion signal the task was supposed to raise is lost —
+ * closures that gate a waiter must catch and forward errors through
+ * the gate instead.
+ */
+class BackgroundWorker
+{
+  public:
+    BackgroundWorker() : thread_([this] { loop(); }) {}
+
+    ~BackgroundWorker()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        thread_.join();
+    }
+
+    BackgroundWorker(const BackgroundWorker &) = delete;
+    BackgroundWorker &operator=(const BackgroundWorker &) = delete;
+
+    /** Enqueue @p task; runs after everything posted before it. */
+    void
+    post(std::function<void()> task)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            BONSAI_REQUIRE(!stop_, "post to a stopped BackgroundWorker");
+            queue_.push_back(std::move(task));
+        }
+        wake_.notify_all();
+    }
+
+    /** Block until the queue is empty and the worker is idle, then
+     *  rethrow the first exception any task leaked (if any). */
+    void
+    drain()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return queue_.empty() && !busy_; });
+        if (error_) {
+            std::exception_ptr err = error_;
+            error_ = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) // stop_ and nothing left to run
+                return;
+            std::function<void()> task = std::move(queue_.front());
+            queue_.pop_front();
+            busy_ = true;
+            lock.unlock();
+            try {
+                task();
+            } catch (...) {
+                lock.lock();
+                if (!error_)
+                    error_ = std::current_exception();
+                lock.unlock();
+            }
+            lock.lock();
+            busy_ = false;
+            if (queue_.empty())
+                idle_.notify_all();
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable wake_; ///< task posted / shutdown
+    std::condition_variable idle_; ///< queue empty and worker idle
+    std::deque<std::function<void()>> queue_;
+    std::exception_ptr error_;
+    bool busy_ = false;
+    bool stop_ = false;
+    std::thread thread_; ///< last member: starts after state is ready
 };
 
 } // namespace bonsai

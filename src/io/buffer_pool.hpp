@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Bounded buffer pool for the streaming sorter's batched I/O.
+ *
+ * The out-of-core merge keeps every run cursor double-buffered with
+ * batch-sized buffers (b records each, mirroring the hardware data
+ * loader's batched reads): while the merge consumes one batch, the
+ * prefetch worker fills the other.  The pool bounds the total buffer
+ * bytes — the software analogue of the paper's Equation 10 on-chip
+ * budget b * ell — and the engine derives its effective merge fan-in
+ * from the buffer count, so memory use never exceeds the budget no
+ * matter how many runs phase 1 produced.
+ *
+ * A pool whose budget cannot hold even one batch would make the first
+ * acquire() block forever; the constructor fails loudly instead (in
+ * every build type).
+ *
+ * TaskGate is the completion handshake for one in-flight background
+ * task (a prefetch or a write-back posted to a BackgroundWorker):
+ * arm() before posting, open()/fail() from the task, wait() on the
+ * consuming side returns the seconds it blocked — the stall telemetry
+ * the stream reports.
+ */
+
+#ifndef BONSAI_IO_BUFFER_POOL_HPP
+#define BONSAI_IO_BUFFER_POOL_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+
+namespace bonsai::io
+{
+
+/** Completion handshake for one in-flight background task. */
+class TaskGate
+{
+  public:
+    /** Mark a task as in flight (call before posting it). */
+    void
+    arm()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        BONSAI_REQUIRE(open_, "arming a gate with a task in flight");
+        open_ = false;
+    }
+
+    /** Task finished successfully.  Notifies while holding the lock:
+     *  the waiter may destroy this gate the moment wait() returns, so
+     *  the notifying thread must be unable to touch the gate after
+     *  the waiter can observe open_. */
+    void
+    open()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        open_ = true;
+        cv_.notify_all();
+    }
+
+    /** Task failed; wait() rethrows @p err. */
+    void
+    fail(std::exception_ptr err)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        error_ = err;
+        open_ = true;
+        cv_.notify_all();
+    }
+
+    /** Block until the in-flight task (if any) completed; returns the
+     *  seconds spent blocked and rethrows the task's error, if any. */
+    double
+    wait()
+    {
+        const auto start = std::chrono::steady_clock::now();
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return open_; });
+        if (error_) {
+            std::exception_ptr err = error_;
+            error_ = nullptr;
+            lock.unlock();
+            std::rethrow_exception(err);
+        }
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::exception_ptr error_;
+    bool open_ = true; ///< nothing in flight initially
+};
+
+/** Bounded pool of batch-sized record buffers. */
+template <typename RecordT>
+class BufferPool
+{
+  public:
+    /**
+     * @param batch_records Records per buffer (the paper's b, in
+     *        records).
+     * @param budget_bytes Total buffer budget; the pool hands out at
+     *        most budget_bytes / (batch_records * sizeof(RecordT))
+     *        buffers.
+     */
+    BufferPool(std::uint64_t batch_records, std::uint64_t budget_bytes)
+        : batch_(batch_records)
+    {
+        if (batch_records == 0)
+            contracts::fail("precondition", "batch_records > 0",
+                            __FILE__, __LINE__,
+                            "BufferPool batch size must be nonzero");
+        const std::uint64_t batch_bytes =
+            batch_records * sizeof(RecordT);
+        count_ = budget_bytes / batch_bytes;
+        if (count_ == 0)
+            contracts::fail(
+                "precondition", "budget_bytes >= batch bytes", __FILE__,
+                __LINE__,
+                "BufferPool budget (" + std::to_string(budget_bytes) +
+                    " bytes) is smaller than one batch buffer (" +
+                    std::to_string(batch_bytes) +
+                    " bytes); acquire() would deadlock");
+    }
+
+    /** Records per buffer (b). */
+    std::uint64_t batchRecords() const { return batch_; }
+
+    /** Total buffers the budget affords. */
+    std::uint64_t buffers() const { return count_; }
+
+    /** Total bytes the pool may hold at once. */
+    std::uint64_t
+    budgetBytes() const
+    {
+        return count_ * batch_ * sizeof(RecordT);
+    }
+
+    /**
+     * Take a buffer of batchRecords() records, blocking while all
+     * buffers are out.  Callers must bound their concurrent holdings
+     * by buffers() (the stream engine derives its fan-in from it), or
+     * acquire() deadlocks.
+     */
+    std::vector<RecordT>
+    acquire()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        available_.wait(lock, [this] {
+            return !free_.empty() || allocated_ < count_;
+        });
+        if (!free_.empty()) {
+            std::vector<RecordT> buf = std::move(free_.back());
+            free_.pop_back();
+            return buf;
+        }
+        ++allocated_;
+        lock.unlock();
+        return std::vector<RecordT>(batch_);
+    }
+
+    /** Return a buffer taken with acquire(). */
+    void
+    release(std::vector<RecordT> buf)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            free_.push_back(std::move(buf));
+        }
+        available_.notify_one();
+    }
+
+  private:
+    std::uint64_t batch_;
+    std::uint64_t count_ = 0;
+
+    std::mutex mutex_;
+    std::condition_variable available_;
+    std::vector<std::vector<RecordT>> free_;
+    std::uint64_t allocated_ = 0;
+};
+
+} // namespace bonsai::io
+
+#endif // BONSAI_IO_BUFFER_POOL_HPP

@@ -1,0 +1,139 @@
+#include "io/byte_io.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace bonsai::io
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwErrno(const std::string &what, const std::string &path)
+{
+    throw std::runtime_error(
+        "bonsai io: " + what + " (" + path + "): " +
+        std::error_code(errno, std::generic_category()).message());
+}
+
+} // namespace
+
+ByteFile
+ByteFile::openRead(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throwErrno("open for read failed", path);
+    return ByteFile(fd, path);
+}
+
+ByteFile
+ByteFile::create(const std::string &path)
+{
+    const int fd =
+        ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throwErrno("create failed", path);
+    return ByteFile(fd, path);
+}
+
+ByteFile
+ByteFile::createTemp(const std::string &dir)
+{
+    std::string base = dir;
+    if (base.empty()) {
+        const char *env = std::getenv("TMPDIR");
+        base = env && *env ? env : "/tmp";
+    }
+    std::string tmpl = base + "/bonsai-spill-XXXXXX";
+    const int fd = ::mkstemp(tmpl.data());
+    if (fd < 0)
+        throwErrno("mkstemp failed", tmpl);
+    // Unlink immediately: the kernel frees the blocks with the last
+    // descriptor, so spills never outlive the process.
+    ::unlink(tmpl.c_str());
+    return ByteFile(fd, "");
+}
+
+ByteFile::ByteFile(ByteFile &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_))
+{
+}
+
+ByteFile &
+ByteFile::operator=(ByteFile &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = std::exchange(other.fd_, -1);
+        path_ = std::move(other.path_);
+    }
+    return *this;
+}
+
+ByteFile::~ByteFile()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+ByteFile::readAt(std::uint64_t offset, void *dst,
+                 std::uint64_t count) const
+{
+    char *out = static_cast<char *>(dst);
+    while (count > 0) {
+        const ssize_t got = ::pread(fd_, out, count,
+                                    static_cast<off_t>(offset));
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("pread failed", path_);
+        }
+        if (got == 0)
+            throw std::runtime_error(
+                "bonsai io: pread hit end of file (" + path_ + ")");
+        out += got;
+        offset += static_cast<std::uint64_t>(got);
+        count -= static_cast<std::uint64_t>(got);
+    }
+}
+
+void
+ByteFile::writeAt(std::uint64_t offset, const void *src,
+                  std::uint64_t count)
+{
+    const char *in = static_cast<const char *>(src);
+    while (count > 0) {
+        const ssize_t put = ::pwrite(fd_, in, count,
+                                     static_cast<off_t>(offset));
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("pwrite failed", path_);
+        }
+        in += put;
+        offset += static_cast<std::uint64_t>(put);
+        count -= static_cast<std::uint64_t>(put);
+    }
+}
+
+std::uint64_t
+ByteFile::sizeBytes() const
+{
+    struct stat st = {};
+    if (::fstat(fd_, &st) != 0)
+        throwErrno("fstat failed", path_);
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+} // namespace bonsai::io

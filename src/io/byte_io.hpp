@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Positioned byte-level file I/O for the streaming storage layer.
+ *
+ * A ByteFile wraps one file descriptor and exposes pread/pwrite-style
+ * positioned transfers, so concurrent readers (the prefetch worker and
+ * the merge thread) and a concurrent writer (write-back) can share one
+ * file without seek races.  Spill files are created unlinked: the
+ * space is reclaimed by the kernel the moment the store is destroyed,
+ * even on a crash.
+ *
+ * This is the only part of the io layer that talks to the OS; record
+ * typed streams (io/stream.hpp) and the run store (io/run_store.hpp)
+ * are header-only templates layered on top.
+ */
+
+#ifndef BONSAI_IO_BYTE_IO_HPP
+#define BONSAI_IO_BYTE_IO_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace bonsai::io
+{
+
+/** Move-only positioned-I/O file handle. */
+class ByteFile
+{
+  public:
+    /** Open an existing file for reading. */
+    static ByteFile openRead(const std::string &path);
+
+    /** Create (or truncate) a file for writing and reading back. */
+    static ByteFile create(const std::string &path);
+
+    /**
+     * Create an anonymous spill file in @p dir (empty = $TMPDIR or
+     * /tmp).  The name is unlinked immediately after creation, so the
+     * storage vanishes with the last handle.
+     */
+    static ByteFile createTemp(const std::string &dir = "");
+
+    ByteFile(ByteFile &&other) noexcept;
+    ByteFile &operator=(ByteFile &&other) noexcept;
+    ByteFile(const ByteFile &) = delete;
+    ByteFile &operator=(const ByteFile &) = delete;
+    ~ByteFile();
+
+    /** Read exactly @p count bytes at @p offset (throws on EOF). */
+    void readAt(std::uint64_t offset, void *dst,
+                std::uint64_t count) const;
+
+    /** Write exactly @p count bytes at @p offset (extends the file). */
+    void writeAt(std::uint64_t offset, const void *src,
+                 std::uint64_t count);
+
+    /** Current file size in bytes. */
+    std::uint64_t sizeBytes() const;
+
+    /** The path the file was opened with ("" for unlinked spills). */
+    const std::string &path() const { return path_; }
+
+  private:
+    ByteFile(int fd, std::string path) : fd_(fd), path_(std::move(path))
+    {
+    }
+
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace bonsai::io
+
+#endif // BONSAI_IO_BYTE_IO_HPP

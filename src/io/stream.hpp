@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Record-typed streaming interfaces: the boundary the sorter facades
+ * read input through and write output through.
+ *
+ * A RecordSource yields records in batches (sequential, forward-only);
+ * a RecordSink accepts them the same way.  Memory-backed
+ * implementations keep the existing sort(std::vector&) facades working
+ * as thin adapters; file-backed implementations let the out-of-core
+ * engine (sorter/external.hpp) sort datasets that never fit in DRAM.
+ *
+ * The stream boundary is also where input data is checked against the
+ * paper's reserved all-zero terminal record (Section V-B): a terminal
+ * in user data would corrupt merge flushing, so requireNoTerminals()
+ * fails loudly — in every build type — instead.
+ */
+
+#ifndef BONSAI_IO_STREAM_HPP
+#define BONSAI_IO_STREAM_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "io/byte_io.hpp"
+
+namespace bonsai::io
+{
+
+/**
+ * Reject the reserved all-zero terminal record in user data.  Not a
+ * compiled-out contract: silently accepting a terminal corrupts merge
+ * output far from the cause, so the check runs in release builds too
+ * (same policy as MergePath's rank-invariant check).
+ */
+template <typename RecordT>
+void
+requireNoTerminals(const RecordT *recs, std::uint64_t count,
+                   std::uint64_t base_index = 0)
+{
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (recs[i].isTerminal())
+            contracts::fail(
+                "precondition", "!record.isTerminal()", __FILE__,
+                __LINE__,
+                "input record " + std::to_string(base_index + i) +
+                    " is the reserved all-zero terminal record "
+                    "(Section V-B) and would corrupt merge flushing");
+    }
+}
+
+/** Sequential, forward-only record producer. */
+template <typename RecordT>
+class RecordSource
+{
+  public:
+    virtual ~RecordSource() = default;
+
+    /** Total records this source will yield. */
+    virtual std::uint64_t totalRecords() const = 0;
+
+    /** Read up to @p max records into @p dst; 0 means exhausted. */
+    virtual std::uint64_t read(RecordT *dst, std::uint64_t max) = 0;
+};
+
+/** Sequential record consumer. */
+template <typename RecordT>
+class RecordSink
+{
+  public:
+    virtual ~RecordSink() = default;
+
+    /** Append @p count records. */
+    virtual void write(const RecordT *src, std::uint64_t count) = 0;
+
+    /** All records delivered; flush any buffered state. */
+    virtual void
+    finish()
+    {
+    }
+};
+
+/** Source over an in-memory buffer (non-owning). */
+template <typename RecordT>
+class MemorySource : public RecordSource<RecordT>
+{
+  public:
+    explicit MemorySource(std::span<const RecordT> data) : data_(data) {}
+
+    std::uint64_t totalRecords() const override { return data_.size(); }
+
+    std::uint64_t
+    read(RecordT *dst, std::uint64_t max) override
+    {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(max, data_.size() - pos_);
+        std::copy_n(data_.data() + pos_, n, dst);
+        pos_ += n;
+        return n;
+    }
+
+  private:
+    std::span<const RecordT> data_;
+    std::uint64_t pos_ = 0;
+};
+
+/** Sink appending into a caller-owned vector. */
+template <typename RecordT>
+class MemorySink : public RecordSink<RecordT>
+{
+  public:
+    explicit MemorySink(std::vector<RecordT> &out) : out_(&out) {}
+
+    void
+    write(const RecordT *src, std::uint64_t count) override
+    {
+        out_->insert(out_->end(), src, src + count);
+    }
+
+  private:
+    std::vector<RecordT> *out_;
+};
+
+/** Source over a raw record file (fixed-width binary records). */
+template <typename RecordT>
+class FileSource : public RecordSource<RecordT>
+{
+    static_assert(std::is_trivially_copyable_v<RecordT>);
+
+  public:
+    /** Takes ownership of @p file; its size must be a whole number of
+     *  records — a torn tail means the file is not what the caller
+     *  thinks it is, so this fails loudly in every build type. */
+    explicit FileSource(ByteFile file) : file_(std::move(file))
+    {
+        const std::uint64_t bytes = file_.sizeBytes();
+        if (bytes % sizeof(RecordT) != 0)
+            contracts::fail(
+                "precondition", "sizeBytes() % sizeof(RecordT) == 0",
+                __FILE__, __LINE__,
+                "record file size (" + std::to_string(bytes) +
+                    " bytes) is not a multiple of the record width (" +
+                    std::to_string(sizeof(RecordT)) + " bytes)");
+        total_ = bytes / sizeof(RecordT);
+    }
+
+    std::uint64_t totalRecords() const override { return total_; }
+
+    std::uint64_t
+    read(RecordT *dst, std::uint64_t max) override
+    {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(max, total_ - pos_);
+        if (n > 0)
+            file_.readAt(pos_ * sizeof(RecordT), dst,
+                         n * sizeof(RecordT));
+        pos_ += n;
+        return n;
+    }
+
+  private:
+    ByteFile file_;
+    std::uint64_t total_ = 0;
+    std::uint64_t pos_ = 0;
+};
+
+/** Sink writing raw records to a file sequentially. */
+template <typename RecordT>
+class FileSink : public RecordSink<RecordT>
+{
+    static_assert(std::is_trivially_copyable_v<RecordT>);
+
+  public:
+    /** Takes ownership of @p file (created/truncated by the caller). */
+    explicit FileSink(ByteFile file) : file_(std::move(file)) {}
+
+    void
+    write(const RecordT *src, std::uint64_t count) override
+    {
+        file_.writeAt(pos_ * sizeof(RecordT), src,
+                      count * sizeof(RecordT));
+        pos_ += count;
+    }
+
+    std::uint64_t recordsWritten() const { return pos_; }
+
+  private:
+    ByteFile file_;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace bonsai::io
+
+#endif // BONSAI_IO_STREAM_HPP

@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "common/run.hpp"
 #include "common/thread_pool.hpp"
 #include "hw/bitonic.hpp"
@@ -92,22 +93,30 @@ class BehavioralSorter
         BehavioralStats stats;
         if (data.size() <= 1)
             return stats;
-
-        std::vector<RunSpan> runs = presort(data);
         std::vector<RecordT> scratch(data.size());
-        std::vector<RecordT> *src = &data;
-        std::vector<RecordT> *dst = &scratch;
-        while (runs.size() > 1) {
-            StagePlan plan(std::move(runs), ell_);
-            runStage(plan, *src, *dst, pool);
-            runs = plan.outputRuns();
-            stats.groupsPerStage.push_back(plan.groups());
-            stats.recordsMoved += plan.totalRecords();
-            ++stats.stages;
-            std::swap(src, dst);
-        }
-        if (src != &data)
-            data = std::move(*src);
+        if (sortBuffers({data.data(), data.size()},
+                        {scratch.data(), scratch.size()}, pool, stats))
+            data = std::move(scratch);
+        return stats;
+    }
+
+    /**
+     * Sort a caller-owned range in place — the out-of-core engine's
+     * phase 1 sorts each streamed chunk this way, with no per-chunk
+     * copy round trip.  Scratch is internal; if the stage ping-pong
+     * ends there, the result is copied back (at most one extra pass,
+     * where the old copy-out/copy-in adapter always paid two).
+     */
+    BehavioralStats
+    sort(std::span<RecordT> data, ThreadPool &pool) const
+    {
+        BehavioralStats stats;
+        if (data.size() <= 1)
+            return stats;
+        std::vector<RecordT> scratch(data.size());
+        if (sortBuffers(data, {scratch.data(), scratch.size()}, pool,
+                        stats))
+            std::copy(scratch.begin(), scratch.end(), data.begin());
         return stats;
     }
 
@@ -120,8 +129,8 @@ class BehavioralSorter
      * concurrently; the result is byte-identical for any pool width.
      */
     void
-    runStage(const StagePlan &plan, const std::vector<RecordT> &src,
-             std::vector<RecordT> &dst, ThreadPool &pool) const
+    runStage(const StagePlan &plan, std::span<const RecordT> src,
+             std::span<RecordT> dst, ThreadPool &pool) const
     {
         const std::vector<RunSpan> out = plan.outputRuns();
         const std::uint64_t stage_total = plan.totalRecords();
@@ -166,9 +175,39 @@ class BehavioralSorter
     }
 
   private:
+    /**
+     * Stage loop shared by the vector and span entry points: presort
+     * @p data, then ping-pong merge stages between @p data and
+     * @p scratch.  Returns true when the sorted result ended up in
+     * @p scratch (odd stage count), letting the vector overload move
+     * instead of copy.
+     */
+    bool
+    sortBuffers(std::span<RecordT> data, std::span<RecordT> scratch,
+                ThreadPool &pool, BehavioralStats &stats) const
+    {
+        BONSAI_REQUIRE(scratch.size() >= data.size(),
+                       "scratch must cover the data range");
+        std::vector<RunSpan> runs = presort(data);
+        std::span<RecordT> src = data;
+        std::span<RecordT> dst = scratch.first(data.size());
+        bool in_scratch = false;
+        while (runs.size() > 1) {
+            StagePlan plan(std::move(runs), ell_);
+            runStage(plan, src, dst, pool);
+            runs = plan.outputRuns();
+            stats.groupsPerStage.push_back(plan.groups());
+            stats.recordsMoved += plan.totalRecords();
+            ++stats.stages;
+            std::swap(src, dst);
+            in_scratch = !in_scratch;
+        }
+        return in_scratch;
+    }
+
     /** Form initial sorted runs with the bitonic presorter network. */
     std::vector<RunSpan>
-    presort(std::vector<RecordT> &data) const
+    presort(std::span<RecordT> data) const
     {
         std::vector<RunSpan> runs =
             chunkRuns(data.size(), presortRun_);

@@ -1,0 +1,714 @@
+/**
+ * @file
+ * Out-of-core two-phase streaming sort engine (paper Section IV-C/D).
+ *
+ * The facade-level SsdSorter used to require the whole dataset in one
+ * std::vector.  This engine runs the same two-phase structure against
+ * the io streaming layer with bounded memory:
+ *
+ *  Phase 1 — stream fixed-size chunks from a RecordSource into a
+ *  working buffer, sort each *in place* with the BehavioralSorter
+ *  (no per-chunk copy round trip), and spill the sorted runs to a
+ *  RunStore.  Two chunk buffers alternate so the spill write-back of
+ *  chunk k overlaps the load+sort of chunk k+1 (the paper's
+ *  double-buffered data loader, writ large).
+ *
+ *  Phase 2 — ell-way merge passes ping-pong runs between two stores;
+ *  every pass is one full storage round trip (the paper's SSD
+ *  round-trip cost unit).  Each input run streams through a
+ *  double-buffered cursor whose next batch is prefetched on a
+ *  background worker while the merge consumes the current one, and
+ *  merged output drains through a double-buffered write-back path.
+ *  Batch size b and the total buffer budget mirror Equation 10's
+ *  b * ell on-chip buffer bound: the effective merge fan-in is derived
+ *  from the budget, so resident memory never exceeds it.
+ *
+ * Memory-backed stores short-circuit: when both stores expose a
+ * memorySpan(), a pass runs on BehavioralSorter::runStage — the Merge
+ * Path sliced, thread-parallel kernel — with zero copies, which is how
+ * sort(std::vector&) remains a thin, byte-identical adapter.  Both
+ * paths emit the identical record sequence (the per-group loser-tree
+ * augmented order), so a file-backed sort is byte-identical to the
+ * in-memory sort of the same input whenever the buffer budget admits
+ * the planned fan-in.
+ */
+
+#ifndef BONSAI_SORTER_EXTERNAL_HPP
+#define BONSAI_SORTER_EXTERNAL_HPP
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/run.hpp"
+#include "common/thread_pool.hpp"
+#include "io/buffer_pool.hpp"
+#include "io/run_store.hpp"
+#include "io/stream.hpp"
+#include "sorter/behavioral.hpp"
+#include "sorter/stage_plan.hpp"
+
+namespace bonsai::sorter
+{
+
+/**
+ * Unified telemetry of a streamed (or adapted in-memory) sort, shared
+ * by SortReport and SsdReport so benches compare backends uniformly.
+ */
+struct StreamStats
+{
+    std::uint64_t recordsIn = 0;
+    std::uint64_t recordsMoved = 0;       ///< total, both phases
+    std::uint64_t phase1RecordsMoved = 0; ///< in-chunk sort moves only
+    std::uint64_t phase1Chunks = 0;
+    std::uint64_t spillBytesWritten = 0; ///< run-store write traffic
+    std::uint64_t spillBytesRead = 0;    ///< run-store read traffic
+    unsigned mergePasses = 0;    ///< phase-2 storage round trips
+    unsigned effectiveEll = 0;   ///< fan-in after the buffer budget cap
+    std::uint64_t batchRecords = 0;    ///< streaming batch size b
+    std::uint64_t bufferPoolBytes = 0; ///< bounded pool budget
+    double phase1Seconds = 0.0;
+    double phase2Seconds = 0.0;
+    double readStallSeconds = 0.0;  ///< merge blocked on prefetch
+    double writeStallSeconds = 0.0; ///< blocked on write-back
+
+    friend bool operator==(const StreamStats &,
+                           const StreamStats &) = default;
+};
+
+/**
+ * Forward-only view of one stored run: double-buffered, batch-sized
+ * reads with the next batch prefetched on a background worker while
+ * the merge consumes the current one.
+ */
+template <typename RecordT>
+class RunCursor
+{
+  public:
+    RunCursor(const io::RunStore<RecordT> &store, RunSpan span,
+              io::BufferPool<RecordT> &pool, BackgroundWorker &reader)
+        : store_(&store), pool_(&pool), reader_(&reader),
+          batch_(pool.batchRecords()), next_(span.offset),
+          end_(span.offset + span.length), cur_(pool.acquire()),
+          pre_(pool.acquire())
+    {
+        curLen_ = std::min<std::uint64_t>(batch_, end_ - next_);
+        if (curLen_ > 0) {
+            store_->readAt(next_, cur_.data(), curLen_);
+            next_ += curLen_;
+        }
+        schedulePrefetch();
+    }
+
+    RunCursor(const RunCursor &) = delete;
+    RunCursor &operator=(const RunCursor &) = delete;
+
+    ~RunCursor()
+    {
+        // An in-flight prefetch still targets pre_; let it land before
+        // the buffers return to the pool.  Its error (if any) is
+        // dropped — nobody will consume the data it failed to read.
+        try {
+            gate_.wait();
+        } catch (...) { // NOLINT(bugprone-empty-catch)
+        }
+        pool_->release(std::move(cur_));
+        pool_->release(std::move(pre_));
+    }
+
+    /** No more records in [span.offset, span.offset + span.length). */
+    bool exhausted() const { return pos_ >= curLen_; }
+
+    const RecordT &head() const { return cur_[pos_]; }
+
+    void
+    advance()
+    {
+        ++pos_;
+        if (pos_ == curLen_)
+            refill();
+    }
+
+    /** Seconds the consumer blocked waiting for prefetched batches. */
+    double stallSeconds() const { return stall_; }
+
+  private:
+    void
+    refill()
+    {
+        if (preLen_ == 0)
+            return; // run fully consumed: exhausted() is now true
+        stall_ += gate_.wait();
+        std::swap(cur_, pre_);
+        curLen_ = preLen_;
+        preLen_ = 0;
+        pos_ = 0;
+        schedulePrefetch();
+    }
+
+    void
+    schedulePrefetch()
+    {
+        preLen_ = std::min<std::uint64_t>(batch_, end_ - next_);
+        if (preLen_ == 0)
+            return;
+        const std::uint64_t off = next_;
+        next_ += preLen_;
+        gate_.arm();
+        reader_->post([this, off] {
+            try {
+                store_->readAt(off, pre_.data(), preLen_);
+            } catch (...) {
+                gate_.fail(std::current_exception());
+                return;
+            }
+            gate_.open();
+        });
+    }
+
+    const io::RunStore<RecordT> *store_;
+    io::BufferPool<RecordT> *pool_;
+    BackgroundWorker *reader_;
+    std::uint64_t batch_;
+    std::uint64_t next_; ///< next store offset to fetch
+    std::uint64_t end_;  ///< one past the run's last record
+    std::vector<RecordT> cur_;
+    std::vector<RecordT> pre_;
+    std::uint64_t curLen_ = 0;
+    std::uint64_t preLen_ = 0;
+    std::uint64_t pos_ = 0;
+    io::TaskGate gate_;
+    double stall_ = 0.0;
+};
+
+/**
+ * Double-buffered batch writer: push() fills one buffer while the
+ * previous one drains to the sink on a background worker.  All writes
+ * to a sink funnel through one worker, so they land in push order.
+ */
+template <typename RecordT>
+class StreamWriter
+{
+  public:
+    StreamWriter(io::RecordSink<RecordT> &sink,
+                 io::BufferPool<RecordT> &pool, BackgroundWorker &writer)
+        : sink_(&sink), pool_(&pool), worker_(&writer),
+          batch_(pool.batchRecords()), cur_(pool.acquire()),
+          flight_(pool.acquire())
+    {
+    }
+
+    StreamWriter(const StreamWriter &) = delete;
+    StreamWriter &operator=(const StreamWriter &) = delete;
+
+    ~StreamWriter()
+    {
+        try {
+            gate_.wait();
+        } catch (...) { // NOLINT(bugprone-empty-catch)
+        }
+        pool_->release(std::move(cur_));
+        pool_->release(std::move(flight_));
+    }
+
+    void
+    push(const RecordT &rec)
+    {
+        cur_[len_++] = rec;
+        if (len_ == batch_)
+            flushBatch();
+    }
+
+    /** Drain everything to the sink; required before destruction for
+     *  errors to surface (the destructor swallows them). */
+    void
+    finish()
+    {
+        if (len_ > 0)
+            flushBatch();
+        stall_ += gate_.wait();
+    }
+
+    /** Seconds push()/finish() blocked on in-flight write-back. */
+    double stallSeconds() const { return stall_; }
+
+  private:
+    void
+    flushBatch()
+    {
+        stall_ += gate_.wait(); // previous batch must have landed
+        std::swap(cur_, flight_);
+        flightLen_ = len_;
+        len_ = 0;
+        gate_.arm();
+        worker_->post([this] {
+            try {
+                sink_->write(flight_.data(), flightLen_);
+            } catch (...) {
+                gate_.fail(std::current_exception());
+                return;
+            }
+            gate_.open();
+        });
+    }
+
+    io::RecordSink<RecordT> *sink_;
+    io::BufferPool<RecordT> *pool_;
+    BackgroundWorker *worker_;
+    std::uint64_t batch_;
+    std::vector<RecordT> cur_;
+    std::vector<RecordT> flight_;
+    std::uint64_t len_ = 0;
+    std::uint64_t flightLen_ = 0;
+    io::TaskGate gate_;
+    double stall_ = 0.0;
+};
+
+/**
+ * Tournament tree over streaming cursors — the out-of-core counterpart
+ * of LoserTree, emitting the identical (key, input index, position)
+ * augmented order so streamed merges are byte-identical to in-memory
+ * ones.
+ */
+template <typename RecordT>
+class CursorMerge
+{
+  public:
+    explicit CursorMerge(
+        std::vector<std::unique_ptr<RunCursor<RecordT>>> &cursors)
+        : cursors_(&cursors)
+    {
+        ways_ = 1;
+        while (ways_ < cursors_->size())
+            ways_ *= 2;
+        tree_.assign(ways_, kEmpty);
+        winner_ = buildTournament(1);
+    }
+
+    bool done() const { return winner_ == kEmpty; }
+
+    RecordT
+    pop()
+    {
+        BONSAI_REQUIRE(!done(), "pop from an exhausted cursor merge");
+        const std::size_t src = winner_;
+        RunCursor<RecordT> &cursor = *(*cursors_)[src];
+        const RecordT out = cursor.head();
+        cursor.advance();
+        std::size_t candidate = cursor.exhausted() ? kEmpty : src;
+        for (std::size_t node = (src + ways_) / 2; node >= 1;
+             node /= 2) {
+            if (beats(tree_[node], candidate))
+                std::swap(tree_[node], candidate);
+        }
+        winner_ = candidate;
+        return out;
+    }
+
+  private:
+    static constexpr std::size_t kEmpty =
+        static_cast<std::size_t>(-1);
+
+    const RecordT &
+    head(std::size_t i) const
+    {
+        return (*cursors_)[i]->head();
+    }
+
+    /** Same augmented order as LoserTree::beats: smaller head wins,
+     *  equal keys go to the lower cursor index. */
+    bool
+    beats(std::size_t a, std::size_t b) const
+    {
+        if (a == kEmpty)
+            return false;
+        if (b == kEmpty)
+            return true;
+        if (head(a) < head(b))
+            return true;
+        if (head(b) < head(a))
+            return false;
+        return a < b;
+    }
+
+    std::size_t
+    slotSource(std::size_t slot) const
+    {
+        if (slot < cursors_->size() && !(*cursors_)[slot]->exhausted())
+            return slot;
+        return kEmpty;
+    }
+
+    std::size_t
+    buildTournament(std::size_t node)
+    {
+        if (node >= ways_)
+            return slotSource(node - ways_);
+        const std::size_t left = buildTournament(2 * node);
+        const std::size_t right = buildTournament(2 * node + 1);
+        if (beats(left, right)) {
+            tree_[node] = right;
+            return left;
+        }
+        tree_[node] = left;
+        return right;
+    }
+
+    std::vector<std::unique_ptr<RunCursor<RecordT>>> *cursors_;
+    std::vector<std::size_t> tree_;
+    std::size_t ways_ = 1;
+    std::size_t winner_ = kEmpty;
+};
+
+/** The streaming two-phase sort engine. */
+template <typename RecordT>
+class StreamEngine
+{
+  public:
+    struct Options
+    {
+        unsigned phase1Ell = 16;  ///< chunk-sort merge fan-in
+        unsigned phase2Ell = 16;  ///< run-merge fan-in (pre-budget)
+        std::uint64_t presortRun = 16;
+        std::uint64_t chunkRecords = 0; ///< 0 = one chunk
+        std::uint64_t batchRecords = 1 << 14;   ///< b, in records
+        std::uint64_t bufferBudgetBytes = 64ULL << 20;
+        unsigned threads = 1;
+    };
+
+    explicit StreamEngine(Options opt) : opt_(opt)
+    {
+        BONSAI_REQUIRE(opt_.phase1Ell >= 2 && opt_.phase2Ell >= 2,
+                       "merge fan-in must be at least 2");
+    }
+
+    /**
+     * In-memory adapter: phase 1 sorts chunk ranges of @p data in
+     * place, phase 2 ping-pongs memory-backed stores (zero-copy Merge
+     * Path passes).  Byte-identical to the streamed path on the same
+     * input and options.
+     */
+    StreamStats
+    sortInPlace(std::vector<RecordT> &data) const
+    {
+        StreamStats stats;
+        stats.recordsIn = data.size();
+        stats.effectiveEll = opt_.phase2Ell;
+        if (data.size() <= 1)
+            return stats;
+        ThreadPool pool(opt_.threads);
+
+        const auto t1 = std::chrono::steady_clock::now();
+        const std::uint64_t chunk = chunkLength(data.size());
+        BehavioralSorter<RecordT> phase1(
+            opt_.phase1Ell, opt_.presortRun, opt_.threads);
+        std::vector<RunSpan> runs;
+        for (std::uint64_t lo = 0; lo < data.size(); lo += chunk) {
+            const std::uint64_t len =
+                std::min<std::uint64_t>(chunk, data.size() - lo);
+            const BehavioralStats s = phase1.sort(
+                std::span<RecordT>(data.data() + lo, len), pool);
+            stats.phase1RecordsMoved += s.recordsMoved;
+            stats.recordsMoved += s.recordsMoved;
+            runs.push_back(RunSpan{lo, len});
+        }
+        stats.phase1Chunks = runs.size();
+        stats.phase1Seconds = secondsSince(t1);
+
+        const auto t2 = std::chrono::steady_clock::now();
+        std::vector<RecordT> scratch(data.size());
+        io::MemoryRunStore<RecordT> front(
+            {data.data(), data.size()});
+        io::MemoryRunStore<RecordT> back(
+            {scratch.data(), scratch.size()});
+        front.setRuns(std::move(runs));
+        io::RunStore<RecordT> *src = &front;
+        io::RunStore<RecordT> *dst = &back;
+        const BehavioralSorter<RecordT> merger(opt_.phase2Ell, 1,
+                                               opt_.threads);
+        ThreadPool *merge_pool = &pool;
+        while (src->runs().size() > 1) {
+            mergePass(*src, *dst, opt_.phase2Ell, merger, *merge_pool,
+                      stats);
+            std::swap(src, dst);
+            ++stats.mergePasses;
+        }
+        if (src == &back)
+            data = std::move(scratch);
+        stats.phase2Seconds = secondsSince(t2);
+        return stats;
+    }
+
+    /**
+     * Fully streamed sort: @p source -> spilled runs in @p front /
+     * @p back -> merged output into @p sink.  Resident memory is
+     * bounded by two chunk buffers (plus one chunk of sort scratch)
+     * and the batch buffer pool, independent of the dataset size.
+     */
+    StreamStats
+    sortStream(io::RecordSource<RecordT> &source,
+               io::RecordSink<RecordT> &sink,
+               io::RunStore<RecordT> &front,
+               io::RunStore<RecordT> &back) const
+    {
+        StreamStats stats;
+        stats.recordsIn = source.totalRecords();
+        stats.batchRecords = opt_.batchRecords;
+        if (stats.recordsIn == 0) {
+            sink.finish();
+            return stats;
+        }
+        ThreadPool pool(opt_.threads);
+        io::BufferPool<RecordT> bufs(opt_.batchRecords,
+                                     opt_.bufferBudgetBytes);
+        stats.bufferPoolBytes = bufs.budgetBytes();
+        stats.effectiveEll = effectiveEll(bufs);
+        BackgroundWorker reader;
+        BackgroundWorker writer;
+
+        runPhase1(source, front, pool, writer, stats);
+        runPhase2(front, back, sink, bufs, reader, writer, stats);
+
+        stats.spillBytesWritten =
+            front.bytesWritten() + back.bytesWritten();
+        stats.spillBytesRead = front.bytesRead() + back.bytesRead();
+        return stats;
+    }
+
+  private:
+    std::uint64_t
+    chunkLength(std::uint64_t total) const
+    {
+        if (opt_.chunkRecords == 0)
+            return total;
+        return std::min<std::uint64_t>(opt_.chunkRecords, total);
+    }
+
+    static double
+    secondsSince(std::chrono::steady_clock::time_point start)
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+    /** Fan-in the buffer budget supports: 2 buffers per input cursor
+     *  plus 2 for the output writer.  Fails loudly (all build types)
+     *  when even a 2-way merge does not fit — blocking acquire()s
+     *  would otherwise deadlock mid-sort. */
+    unsigned
+    effectiveEll(const io::BufferPool<RecordT> &bufs) const
+    {
+        const std::uint64_t have = bufs.buffers();
+        if (have < 6)
+            contracts::fail(
+                "precondition", "bufs.buffers() >= 6", __FILE__,
+                __LINE__,
+                "buffer pool budget (" +
+                    std::to_string(bufs.budgetBytes()) +
+                    " bytes) holds only " + std::to_string(have) +
+                    " batch buffer(s); a streaming merge needs at "
+                    "least 6 (2 per input run of a 2-way merge + 2 "
+                    "for write-back)");
+        const std::uint64_t fan = (have - 2) / 2;
+        return static_cast<unsigned>(
+            std::min<std::uint64_t>(opt_.phase2Ell, fan));
+    }
+
+    /** Stream chunks in, sort in place, spill runs — write-back of
+     *  chunk k overlaps the load and sort of chunk k+1. */
+    void
+    runPhase1(io::RecordSource<RecordT> &source,
+              io::RunStore<RecordT> &store, ThreadPool &pool,
+              BackgroundWorker &writer, StreamStats &stats) const
+    {
+        const auto t1 = std::chrono::steady_clock::now();
+        const std::uint64_t total = source.totalRecords();
+        const std::uint64_t chunk = chunkLength(total);
+        BehavioralSorter<RecordT> sorter(
+            opt_.phase1Ell, opt_.presortRun, opt_.threads);
+        std::array<std::vector<RecordT>, 2> buf;
+        std::array<io::TaskGate, 2> gate;
+        buf[0].resize(chunk);
+        if (chunk < total)
+            buf[1].resize(chunk);
+        std::vector<RunSpan> runs;
+        try {
+            fillSortSpill(source, store, pool, writer, sorter, buf,
+                          gate, runs, total, chunk, stats);
+        } catch (...) {
+            // The writer may still reference buf/gate; quiesce the
+            // in-flight spills before the locals unwind.
+            for (io::TaskGate &g : gate) {
+                try {
+                    g.wait();
+                } catch (...) { // NOLINT(bugprone-empty-catch)
+                }
+            }
+            throw;
+        }
+        stats.writeStallSeconds += gate[0].wait() + gate[1].wait();
+        stats.phase1Chunks = runs.size();
+        store.setRuns(std::move(runs));
+        stats.phase1Seconds = secondsSince(t1);
+    }
+
+    /** The phase-1 loop body: every path out of here must leave the
+     *  spill gates quiescable by the caller. */
+    void
+    fillSortSpill(io::RecordSource<RecordT> &source,
+                  io::RunStore<RecordT> &store, ThreadPool &pool,
+                  BackgroundWorker &writer,
+                  BehavioralSorter<RecordT> &sorter,
+                  std::array<std::vector<RecordT>, 2> &buf,
+                  std::array<io::TaskGate, 2> &gate,
+                  std::vector<RunSpan> &runs, std::uint64_t total,
+                  std::uint64_t chunk, StreamStats &stats) const
+    {
+        std::uint64_t offset = 0;
+        unsigned slot = 0;
+        while (offset < total) {
+            const std::uint64_t len =
+                std::min<std::uint64_t>(chunk, total - offset);
+            std::vector<RecordT> &cur = buf[slot];
+            // This buffer's previous spill must have landed.
+            stats.writeStallSeconds += gate[slot].wait();
+            std::uint64_t got = 0;
+            while (got < len) {
+                const std::uint64_t r = source.read(
+                    cur.data() + got,
+                    std::min<std::uint64_t>(opt_.batchRecords,
+                                            len - got));
+                if (r == 0)
+                    contracts::fail(
+                        "precondition", "source.read() != 0", __FILE__,
+                        __LINE__,
+                        "record source ended at record " +
+                            std::to_string(offset + got) +
+                            " but declared " + std::to_string(total));
+                io::requireNoTerminals(cur.data() + got, r,
+                                       offset + got);
+                got += r;
+            }
+            const BehavioralStats s = sorter.sort(
+                std::span<RecordT>(cur.data(), len), pool);
+            stats.phase1RecordsMoved += s.recordsMoved;
+            stats.recordsMoved += s.recordsMoved;
+            io::TaskGate *g = &gate[slot];
+            const std::uint64_t off = offset;
+            g->arm();
+            writer.post([&store, &cur, g, off, len] {
+                try {
+                    store.writeAt(off, cur.data(), len);
+                } catch (...) {
+                    g->fail(std::current_exception());
+                    return;
+                }
+                g->open();
+            });
+            runs.push_back(RunSpan{offset, len});
+            offset += len;
+            slot ^= 1;
+        }
+    }
+
+    /** Merge passes between the stores; the pass that collapses to a
+     *  single run streams into the sink instead. */
+    void
+    runPhase2(io::RunStore<RecordT> &front, io::RunStore<RecordT> &back,
+              io::RecordSink<RecordT> &sink,
+              io::BufferPool<RecordT> &bufs, BackgroundWorker &reader,
+              BackgroundWorker &writer, StreamStats &stats) const
+    {
+        const auto t2 = std::chrono::steady_clock::now();
+        const unsigned ell = stats.effectiveEll;
+        io::RunStore<RecordT> *src = &front;
+        io::RunStore<RecordT> *dst = &back;
+        for (;;) {
+            const StagePlan plan(src->runs(), ell);
+            const bool last = plan.groups() == 1;
+            const std::vector<RunSpan> out = plan.outputRuns();
+            for (std::uint64_t g = 0; g < plan.groups(); ++g) {
+                const std::vector<RunSpan> members = plan.groupRuns(g);
+                if (members.empty())
+                    continue;
+                if (last) {
+                    mergeGroup(*src, members, sink, bufs, reader,
+                               writer, stats);
+                } else {
+                    io::RunStoreSink<RecordT> gsink(*dst,
+                                                    out[g].offset);
+                    mergeGroup(*src, members, gsink, bufs, reader,
+                               writer, stats);
+                }
+            }
+            ++stats.mergePasses;
+            if (last)
+                break;
+            dst->setRuns(out);
+            src->setRuns({});
+            std::swap(src, dst);
+        }
+        sink.finish();
+        stats.phase2Seconds = secondsSince(t2);
+    }
+
+    /** Stream-merge one group of runs from @p src into @p out. */
+    void
+    mergeGroup(const io::RunStore<RecordT> &src,
+               const std::vector<RunSpan> &members,
+               io::RecordSink<RecordT> &out,
+               io::BufferPool<RecordT> &bufs, BackgroundWorker &reader,
+               BackgroundWorker &writer, StreamStats &stats) const
+    {
+        std::vector<std::unique_ptr<RunCursor<RecordT>>> cursors;
+        cursors.reserve(members.size());
+        for (const RunSpan &m : members)
+            cursors.push_back(std::make_unique<RunCursor<RecordT>>(
+                src, m, bufs, reader));
+        StreamWriter<RecordT> drain(out, bufs, writer);
+        CursorMerge<RecordT> merge(cursors);
+        std::uint64_t moved = 0;
+        while (!merge.done()) {
+            drain.push(merge.pop());
+            ++moved;
+        }
+        drain.finish();
+        stats.recordsMoved += moved;
+        for (const auto &c : cursors)
+            stats.readStallSeconds += c->stallSeconds();
+        stats.writeStallSeconds += drain.stallSeconds();
+    }
+
+    /** One store-to-store merge pass; memory-backed store pairs run
+     *  the zero-copy Merge Path kernel instead of streaming. */
+    void
+    mergePass(io::RunStore<RecordT> &src, io::RunStore<RecordT> &dst,
+              unsigned ell, const BehavioralSorter<RecordT> &merger,
+              ThreadPool &pool, StreamStats &stats) const
+    {
+        const StagePlan plan(src.runs(), ell);
+        const std::span<RecordT> s = src.memorySpan();
+        const std::span<RecordT> d = dst.memorySpan();
+        BONSAI_REQUIRE(!s.empty() && !d.empty(),
+                       "mergePass needs memory-backed stores; "
+                       "storage-backed passes go through runPhase2");
+        merger.runStage(plan, {s.data(), s.size()}, d, pool);
+        stats.recordsMoved += plan.totalRecords();
+        dst.setRuns(plan.outputRuns());
+        src.setRuns({});
+    }
+
+    Options opt_;
+};
+
+} // namespace bonsai::sorter
+
+#endif // BONSAI_SORTER_EXTERNAL_HPP

@@ -11,6 +11,13 @@
  *  - DramSorter: single-node DRAM-scale sorting (Section IV-A);
  *  - HbmSorter: unrolled configuration on HBM banks (Section IV-B);
  *  - SsdSorter: two-phase terabyte-scale sorting (Section IV-C).
+ *    sort(std::vector&) is a thin adapter over the out-of-core
+ *    StreamEngine; sortStream() runs the same engine against
+ *    RecordSource/RecordSink with bounded resident memory.
+ *
+ * All facades reject the reserved all-zero terminal record at the
+ * boundary (Section V-B) and return a zeroed report for empty and
+ * single-record inputs instead of invoking the optimizer.
  *
  * Note: like the hardware (whose compare-and-exchange units compare
  * keys only), these sorters are NOT stable — records with equal keys
@@ -20,16 +27,21 @@
 #ifndef BONSAI_SORTER_SORTERS_HPP
 #define BONSAI_SORTER_SORTERS_HPP
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "core/optimizer.hpp"
 #include "core/platforms.hpp"
 #include "core/ssd_planner.hpp"
+#include "io/run_store.hpp"
+#include "io/stream.hpp"
 #include "sorter/behavioral.hpp"
+#include "sorter/external.hpp"
 #include "sorter/loser_tree.hpp"
 #include "sorter/stage_sim.hpp"
 
@@ -48,6 +60,8 @@ struct SortReport
      *  the paper's sorting-time metric, reported separately. */
     double ioSeconds = 0.0;
     unsigned stages = 0;
+    /** Data-movement telemetry, unified with SsdReport::stream. */
+    StreamStats stream;
 
     double
     modeledMsPerGb(std::uint64_t bytes) const
@@ -83,11 +97,19 @@ class DramSorter
     unsigned threads() const { return threads_; }
 
     /** Sort @p data in place; RecordT is any record type from
-     *  common/record.hpp.  @p record_bytes is the modeled width r. */
+     *  common/record.hpp.  @p record_bytes is the modeled width r.
+     *  Degenerate inputs (0 or 1 records) are already sorted: they
+     *  return a zeroed report without invoking the optimizer. */
     template <typename RecordT>
     SortReport
     sort(std::vector<RecordT> &data, std::uint64_t record_bytes) const
     {
+        if (data.size() <= 1) {
+            SortReport report;
+            report.stream.recordsIn = data.size();
+            return report;
+        }
+        io::requireNoTerminals(data.data(), data.size());
         model::BonsaiInputs in;
         in.array = {data.size(), record_bytes};
         in.hw = hw_;
@@ -135,11 +157,17 @@ class DramSorter
         BehavioralSorter<RecordT> engine(choice.config.ell,
                                          in.arch.presortRunLength,
                                          threads_);
-        engine.sort(data);
+        const BehavioralStats moves = engine.sort(data);
         report.hostSeconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start)
                 .count();
+        report.stream.recordsIn = data.size();
+        report.stream.recordsMoved = moves.recordsMoved;
+        report.stream.phase1RecordsMoved = moves.recordsMoved;
+        report.stream.phase1Chunks = 1;
+        report.stream.phase1Seconds = report.hostSeconds;
+        report.stream.effectiveEll = choice.config.ell;
         return report;
     }
 
@@ -193,58 +221,131 @@ class SsdSorter
     {
         core::SsdPlan plan;
         double hostSeconds = 0.0;
+        /** Streaming telemetry: spill traffic, records moved per
+         *  phase, prefetch/write-back stalls. */
+        StreamStats stream;
     };
 
+    /** Tuning knobs for the out-of-core sortStream() path. */
+    struct StreamOptions
+    {
+        /** Total resident-memory budget: two streaming chunk buffers
+         *  plus sort scratch in phase 1, the batch buffer pool in
+         *  phase 2.  0 = 256 MiB. */
+        std::uint64_t memoryBudgetBytes = 0;
+        /** Streaming batch size b, in records.  0 derives it from
+         *  the planner's Equation 10 batch (phase2.batchBytes). */
+        std::uint64_t batchRecords = 0;
+        /** Spill directory for run files ("" = $TMPDIR or /tmp). */
+        std::string spillDir;
+    };
+
+    /**
+     * In-memory adapter over the out-of-core engine: phase 1 sorts
+     * chunk ranges of @p data in place (no per-chunk copy), phase 2
+     * merges between @p data and one scratch buffer with the Merge
+     * Path parallel kernel.
+     */
     template <typename RecordT>
     SsdReport
     sort(std::vector<RecordT> &data, std::uint64_t record_bytes) const
     {
+        SsdReport report;
+        report.stream.recordsIn = data.size();
+        if (data.size() <= 1)
+            return report;
+        io::requireNoTerminals(data.data(), data.size());
         model::ArrayParams array{data.size(), record_bytes};
         const auto plan =
             core::planSsdSort(array, hw_, arch_, ssd_);
         if (!plan)
             throw std::runtime_error(
                 "Bonsai: no feasible SSD two-phase plan");
-        SsdReport report;
         report.plan = *plan;
 
+        typename StreamEngine<RecordT>::Options eng;
+        eng.phase1Ell = plan->phase1.config.ell;
+        eng.phase2Ell = plan->phase2.config.ell;
+        eng.presortRun = arch_.presortRunLength;
+        eng.chunkRecords = plan->chunkRecords;
+        eng.threads = threads_;
+
         const auto start = std::chrono::steady_clock::now();
-        // One pool persists across both phases: phase 1 sorts many
-        // chunks back to back, and spawning/joining workers per chunk
-        // is exactly the churn the persistent pool exists to avoid.
-        ThreadPool pool(threads_);
-        // Phase 1: sort DRAM-scale chunks independently.
-        const std::uint64_t chunk = plan->chunkRecords == 0
-            ? data.size() : plan->chunkRecords;
-        BehavioralSorter<RecordT> phase1(plan->phase1.config.ell,
-                                         arch_.presortRunLength,
-                                         threads_);
-        std::vector<RunSpan> runs;
-        for (std::uint64_t lo = 0; lo < data.size(); lo += chunk) {
-            const std::uint64_t len =
-                std::min<std::uint64_t>(chunk, data.size() - lo);
-            std::vector<RecordT> piece(data.begin() + lo,
-                                       data.begin() + lo + len);
-            phase1.sort(piece, pool);
-            std::copy(piece.begin(), piece.end(), data.begin() + lo);
-            runs.push_back(RunSpan{lo, len});
+        report.stream = StreamEngine<RecordT>(eng).sortInPlace(data);
+        report.hostSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        return report;
+    }
+
+    /**
+     * True out-of-core sort: stream @p source through spill files into
+     * @p sink with resident memory bounded by the options' budget,
+     * independent of the dataset size.  The emitted record sequence is
+     * identical to the in-memory path's for the same input whenever
+     * keys are distinct (both follow the same augmented merge order).
+     */
+    template <typename RecordT>
+    SsdReport
+    sortStream(io::RecordSource<RecordT> &source,
+               io::RecordSink<RecordT> &sink,
+               std::uint64_t record_bytes,
+               const StreamOptions &opts = {}) const
+    {
+        const std::uint64_t n = source.totalRecords();
+        SsdReport report;
+        report.stream.recordsIn = n;
+        if (n <= 1) {
+            RecordT rec;
+            if (n == 1 && source.read(&rec, 1) == 1) {
+                io::requireNoTerminals(&rec, 1);
+                sink.write(&rec, 1);
+            }
+            sink.finish();
+            return report;
         }
-        // Phase 2: ell-way merge of the sorted chunks (each stage is
-        // one SSD round trip), on the behavioral sorter's shared
-        // stage executor so wide merges are Merge Path sliced too.
-        const BehavioralSorter<RecordT> phase2(
-            plan->phase2.config.ell, 1, threads_);
-        std::vector<RecordT> scratch(data.size());
-        std::vector<RecordT> *src = &data;
-        std::vector<RecordT> *dst = &scratch;
-        while (runs.size() > 1) {
-            StagePlan stage(std::move(runs), plan->phase2.config.ell);
-            phase2.runStage(stage, *src, *dst, pool);
-            runs = stage.outputRuns();
-            std::swap(src, dst);
-        }
-        if (src != &data)
-            data = std::move(*src);
+
+        const std::uint64_t budget = opts.memoryBudgetBytes != 0
+            ? opts.memoryBudgetBytes : (256ULL << 20);
+        // Phase 1 keeps ~3 chunk buffers resident (two streaming
+        // chunks plus the sorter's scratch); phase 2 holds the batch
+        // pool.  A quarter of the budget each bounds both phases.
+        // The modeled DRAM also bounds the chunk (the planner's own
+        // default is cDram/8, Equation 5's pipeline headroom) — a
+        // bigger chunk makes phase 1 infeasible for the optimizer.
+        const std::uint64_t chunk_records =
+            std::min<std::uint64_t>(
+                std::max<std::uint64_t>(
+                    std::min(budget / 4 / sizeof(RecordT),
+                             hw_.cDram / 8 / record_bytes),
+                    2),
+                n);
+        model::ArrayParams array{n, record_bytes};
+        const auto plan = core::planSsdSort(
+            array, hw_, arch_, ssd_, chunk_records * record_bytes);
+        if (!plan)
+            throw std::runtime_error(
+                "Bonsai: no feasible SSD two-phase plan");
+        report.plan = *plan;
+
+        typename StreamEngine<RecordT>::Options eng;
+        eng.phase1Ell = plan->phase1.config.ell;
+        eng.phase2Ell = plan->phase2.config.ell;
+        eng.presortRun = arch_.presortRunLength;
+        eng.chunkRecords = chunk_records;
+        eng.bufferBudgetBytes = budget / 4;
+        eng.batchRecords = opts.batchRecords != 0
+            ? opts.batchRecords
+            : defaultBatchRecords<RecordT>(*plan, record_bytes,
+                                           eng.bufferBudgetBytes);
+        eng.threads = threads_;
+
+        io::FileRunStore<RecordT> front(opts.spillDir);
+        io::FileRunStore<RecordT> back(opts.spillDir);
+        const auto start = std::chrono::steady_clock::now();
+        report.stream = StreamEngine<RecordT>(eng).sortStream(
+            source, sink, front, back);
         report.hostSeconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start)
@@ -253,6 +354,23 @@ class SsdSorter
     }
 
   private:
+    /** Default streaming batch b: the planner's Equation 10 batch
+     *  (phase2.batchBytes, the largest b with lambda*b*ell <= C_BRAM),
+     *  capped so the pool keeps >= 8 buffers — explicit user batches
+     *  are taken as-is and fail loudly if the pool cannot hold one. */
+    template <typename RecordT>
+    static std::uint64_t
+    defaultBatchRecords(const core::SsdPlan &plan,
+                        std::uint64_t record_bytes,
+                        std::uint64_t pool_budget_bytes)
+    {
+        std::uint64_t batch = std::max<std::uint64_t>(
+            plan.phase2.batchBytes / record_bytes, 1);
+        const std::uint64_t cap = std::max<std::uint64_t>(
+            pool_budget_bytes / (8 * sizeof(RecordT)), 1);
+        return std::min(batch, cap);
+    }
+
     model::HardwareParams hw_;
     core::SsdParams ssd_;
     model::MergerArchParams arch_;

@@ -13,9 +13,11 @@
 #ifndef BONSAI_SORTER_STAGE_PLAN_HPP
 #define BONSAI_SORTER_STAGE_PLAN_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "common/run.hpp"
 
 namespace bonsai::sorter
@@ -34,10 +36,24 @@ class StagePlan
               std::uint64_t out_base = 0)
         : runs_(std::move(runs)), ell_(ell), outBase_(out_base)
     {
+        BONSAI_REQUIRE(ell_ >= 1,
+                       "a merge stage needs a fan-in of at least 1");
         const std::uint64_t r = runs_.size();
         groups_ = (r + ell_ - 1) / ell_;
         if (groups_ == 0)
             groups_ = 1;
+    }
+
+    /** Largest member count of any merge group in this stage — the
+     *  fan-in the streaming merge must budget cursor buffers for. */
+    std::uint64_t
+    maxGroupFanIn() const
+    {
+        std::uint64_t widest = 0;
+        for (std::uint64_t g = 0; g < groups_; ++g)
+            widest = std::max<std::uint64_t>(widest,
+                                             groupRuns(g).size());
+        return widest;
     }
 
     std::uint64_t groups() const { return groups_; }

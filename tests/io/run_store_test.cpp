@@ -1,0 +1,83 @@
+/** @file Unit tests for memory- and file-backed run stores. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/record.hpp"
+#include "common/run.hpp"
+#include "io/run_store.hpp"
+
+namespace bonsai::io
+{
+namespace
+{
+
+template <typename StoreT>
+void
+roundTrip(StoreT &store)
+{
+    std::vector<Record> recs(256);
+    for (std::uint64_t i = 0; i < recs.size(); ++i)
+        recs[i] = Record{i + 1, i};
+
+    store.writeAt(0, recs.data(), 100);
+    store.writeAt(100, recs.data() + 100, 156);
+
+    std::vector<Record> got(recs.size());
+    store.readAt(128, got.data() + 128, 128); // out of order reads
+    store.readAt(0, got.data(), 128);
+    EXPECT_EQ(got, recs);
+
+    EXPECT_EQ(store.bytesWritten(), 256 * sizeof(Record));
+    EXPECT_EQ(store.bytesRead(), 256 * sizeof(Record));
+}
+
+TEST(MemoryRunStore, RoundTripsAndCountsTraffic)
+{
+    std::vector<Record> backing(256);
+    MemoryRunStore<Record> store(
+        std::span<Record>(backing.data(), backing.size()));
+    roundTrip(store);
+    EXPECT_EQ(store.memorySpan().data(), backing.data());
+}
+
+TEST(FileRunStore, RoundTripsAndCountsTraffic)
+{
+    FileRunStore<Record> store; // anonymous spill in $TMPDIR
+    roundTrip(store);
+    EXPECT_TRUE(store.memorySpan().empty());
+}
+
+TEST(RunStore, RunMetadataLivesOnTheStore)
+{
+    FileRunStore<Record> store;
+    EXPECT_TRUE(store.runs().empty());
+    store.setRuns({RunSpan{0, 10}, RunSpan{10, 20}});
+    ASSERT_EQ(store.runs().size(), 2u);
+    EXPECT_EQ(store.runs()[1].offset, 10u);
+    EXPECT_EQ(store.runs()[1].length, 20u);
+}
+
+TEST(RunStoreSink, WritesSequentiallyFromItsBaseOffset)
+{
+    std::vector<Record> backing(16);
+    MemoryRunStore<Record> store(
+        std::span<Record>(backing.data(), backing.size()));
+    RunStoreSink<Record> sink(store, 4);
+
+    std::vector<Record> recs(8);
+    for (std::uint64_t i = 0; i < recs.size(); ++i)
+        recs[i] = Record{i + 1, i};
+    sink.write(recs.data(), 3);
+    sink.write(recs.data() + 3, 5);
+    sink.finish();
+
+    for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(backing[4 + i], recs[i]) << "record " << i;
+}
+
+} // namespace
+} // namespace bonsai::io

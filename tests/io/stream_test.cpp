@@ -1,0 +1,140 @@
+/** @file Unit tests for the record stream boundary (io/stream.hpp). */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/record.hpp"
+#include "io/byte_io.hpp"
+#include "io/stream.hpp"
+
+namespace bonsai::io
+{
+namespace
+{
+
+std::vector<Record>
+makeRecords(std::uint64_t n)
+{
+    std::vector<Record> recs(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        recs[i] = Record{n - i, i};
+    return recs;
+}
+
+/** Temp file path scoped to one test, removed on destruction. */
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &name)
+        : path_(::testing::TempDir() + name)
+    {
+    }
+    ~TempPath() { std::remove(path_.c_str()); }
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(MemoryStreams, SourceYieldsAllRecordsInBatches)
+{
+    const auto recs = makeRecords(10);
+    MemorySource<Record> source{std::span<const Record>(recs)};
+    EXPECT_EQ(source.totalRecords(), 10u);
+
+    std::vector<Record> got(recs.size());
+    EXPECT_EQ(source.read(got.data(), 4), 4u);
+    EXPECT_EQ(source.read(got.data() + 4, 4), 4u);
+    EXPECT_EQ(source.read(got.data() + 8, 4), 2u); // clamped tail
+    EXPECT_EQ(source.read(got.data(), 4), 0u);     // exhausted
+    EXPECT_EQ(got, recs);
+}
+
+TEST(MemoryStreams, SinkAppendsAcrossWrites)
+{
+    const auto recs = makeRecords(6);
+    std::vector<Record> out;
+    MemorySink<Record> sink(out);
+    sink.write(recs.data(), 2);
+    sink.write(recs.data() + 2, 4);
+    sink.finish();
+    EXPECT_EQ(out, recs);
+}
+
+TEST(FileStreams, SinkThenSourceRoundTrips)
+{
+    const auto recs = makeRecords(1000);
+    TempPath path("stream_roundtrip.bin");
+    {
+        FileSink<Record> sink(ByteFile::create(path.str()));
+        sink.write(recs.data(), 300);
+        sink.write(recs.data() + 300, 700);
+        sink.finish();
+        EXPECT_EQ(sink.recordsWritten(), 1000u);
+    }
+    FileSource<Record> source(ByteFile::openRead(path.str()));
+    EXPECT_EQ(source.totalRecords(), 1000u);
+    std::vector<Record> got(recs.size());
+    std::uint64_t pos = 0;
+    for (std::uint64_t n;
+         (n = source.read(got.data() + pos, 128)) != 0;)
+        pos += n;
+    EXPECT_EQ(pos, 1000u);
+    EXPECT_EQ(got, recs);
+}
+
+TEST(FileStreams, EmptyFileIsAnEmptySource)
+{
+    TempPath path("stream_empty.bin");
+    { FileSink<Record> sink(ByteFile::create(path.str())); }
+    FileSource<Record> source(ByteFile::openRead(path.str()));
+    EXPECT_EQ(source.totalRecords(), 0u);
+    Record rec;
+    EXPECT_EQ(source.read(&rec, 1), 0u);
+}
+
+TEST(FileStreams, TornTailFailsLoudlyInEveryBuildType)
+{
+    // A file whose size is not a whole number of records is not the
+    // file the caller thinks it is — the source must refuse it.
+    TempPath path("stream_torn.bin");
+    {
+        ByteFile file = ByteFile::create(path.str());
+        const char junk[sizeof(Record) + 3] = {};
+        file.writeAt(0, junk, sizeof(junk));
+    }
+    EXPECT_THROW(FileSource<Record>(ByteFile::openRead(path.str())),
+                 ContractViolation);
+}
+
+TEST(TerminalBoundary, CleanInputPasses)
+{
+    const auto recs = makeRecords(64);
+    EXPECT_NO_THROW(
+        requireNoTerminals(recs.data(), recs.size()));
+}
+
+TEST(TerminalBoundary, TerminalRecordIsRejectedWithItsIndex)
+{
+    auto recs = makeRecords(8);
+    recs[5] = Record::terminal();
+    try {
+        requireNoTerminals(recs.data(), recs.size(), 100);
+        FAIL() << "terminal record was not rejected";
+    } catch (const ContractViolation &err) {
+        // The message must name the absolute record index so a user
+        // can find the offending record in a terabyte input.
+        EXPECT_NE(std::string(err.what()).find("105"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+} // namespace
+} // namespace bonsai::io

@@ -1,0 +1,223 @@
+/** @file Unit tests for the out-of-core streaming sort engine. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/random.hpp"
+#include "common/record.hpp"
+#include "io/run_store.hpp"
+#include "io/stream.hpp"
+#include "sorter/external.hpp"
+
+namespace bonsai::sorter
+{
+namespace
+{
+
+/** Small engine: 1000-record chunks, 4-way merges, 128-record batches
+ *  with a budget comfortably above 2*ell + 2 buffers. */
+StreamEngine<Record>::Options
+smallOptions()
+{
+    StreamEngine<Record>::Options opt;
+    opt.phase1Ell = 4;
+    opt.phase2Ell = 4;
+    opt.presortRun = 16;
+    opt.chunkRecords = 1000;
+    opt.batchRecords = 128;
+    opt.bufferBudgetBytes = 64 * 128 * sizeof(Record);
+    opt.threads = 2;
+    return opt;
+}
+
+std::vector<Record>
+streamSort(const StreamEngine<Record> &engine,
+           const std::vector<Record> &data, StreamStats *stats = nullptr)
+{
+    io::MemorySource<Record> source{std::span<const Record>(data)};
+    std::vector<Record> out;
+    out.reserve(data.size());
+    io::MemorySink<Record> sink(out);
+    io::FileRunStore<Record> front;
+    io::FileRunStore<Record> back;
+    const StreamStats s = engine.sortStream(source, sink, front, back);
+    if (stats)
+        *stats = s;
+    return out;
+}
+
+TEST(StreamEngine, SortInPlaceMatchesStdSort)
+{
+    auto data = makeRecords(20'000, Distribution::UniformRandom);
+    auto expected = data;
+    std::sort(expected.begin(), expected.end(),
+              [](const Record &a, const Record &b) {
+                  return a.key < b.key ||
+                      (a.key == b.key && a.value < b.value);
+              });
+
+    const StreamEngine<Record> engine(smallOptions());
+    const StreamStats stats = engine.sortInPlace(data);
+    EXPECT_EQ(data, expected);
+    EXPECT_EQ(stats.recordsIn, 20'000u);
+    EXPECT_EQ(stats.phase1Chunks, 20u); // ceil(20000 / 1000)
+    EXPECT_GT(stats.mergePasses, 0u);
+    EXPECT_GT(stats.phase1RecordsMoved, 0u);
+    EXPECT_GT(stats.recordsMoved, stats.phase1RecordsMoved);
+}
+
+TEST(StreamEngine, StreamedOutputIsByteIdenticalToInPlace)
+{
+    // FewDistinct floods the merge with equal keys; values carry the
+    // original index, so equality of the full record sequences proves
+    // the streamed cursors follow the exact augmented merge order of
+    // the in-memory Merge Path kernel — not just "both are sorted".
+    auto in_place = makeRecords(30'000, Distribution::FewDistinct);
+    const auto original = in_place;
+
+    const StreamEngine<Record> engine(smallOptions());
+    engine.sortInPlace(in_place);
+
+    StreamStats stats;
+    const auto streamed = streamSort(engine, original, &stats);
+    EXPECT_EQ(streamed, in_place);
+
+    // 30 chunk runs at fan-in 4 need 3 passes (30 -> 8 -> 2 -> 1);
+    // phase 1 spills n records, every non-final pass another n, and
+    // every pass reads n back — one "SSD round trip" per pass.
+    EXPECT_EQ(stats.effectiveEll, 4u);
+    EXPECT_EQ(stats.mergePasses, 3u);
+    const std::uint64_t n_bytes = 30'000u * sizeof(Record);
+    EXPECT_EQ(stats.spillBytesWritten, n_bytes * stats.mergePasses);
+    EXPECT_EQ(stats.spillBytesRead, n_bytes * stats.mergePasses);
+}
+
+TEST(StreamEngine, EmptySourceProducesEmptyOutput)
+{
+    const StreamEngine<Record> engine(smallOptions());
+    StreamStats stats;
+    const auto out = streamSort(engine, {}, &stats);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(stats.recordsIn, 0u);
+    EXPECT_EQ(stats.mergePasses, 0u);
+    EXPECT_EQ(stats.spillBytesWritten, 0u);
+}
+
+TEST(StreamEngine, SingleRunStreamsStraightToTheSink)
+{
+    // Fewer records than one chunk: phase 1 produces a single run and
+    // the one merge "pass" is a streamed copy into the sink.
+    const auto data = makeRecords(500, Distribution::Reverse);
+    const StreamEngine<Record> engine(smallOptions());
+    StreamStats stats;
+    const auto out = streamSort(engine, data, &stats);
+
+    auto expected = data;
+    engine.sortInPlace(expected);
+    EXPECT_EQ(out, expected);
+    EXPECT_EQ(stats.phase1Chunks, 1u);
+    EXPECT_EQ(stats.mergePasses, 1u);
+}
+
+TEST(StreamEngine, RunCountExactlyEllMergesInOnePass)
+{
+    const auto data = makeRecords(4000, Distribution::UniformRandom);
+    const StreamEngine<Record> engine(smallOptions());
+    StreamStats stats;
+    const auto out = streamSort(engine, data, &stats);
+
+    auto expected = data;
+    engine.sortInPlace(expected);
+    EXPECT_EQ(out, expected);
+    EXPECT_EQ(stats.phase1Chunks, 4u); // exactly ell runs
+    EXPECT_EQ(stats.mergePasses, 1u);  // one group, straight to sink
+}
+
+TEST(StreamEngine, FanInIsCappedByTheBufferBudget)
+{
+    auto opt = smallOptions();
+    opt.phase2Ell = 16;
+    // Room for exactly 10 buffers: 2 for write-back, 2 per cursor ->
+    // fan-in 4 despite the requested 16.
+    opt.bufferBudgetBytes = 10 * opt.batchRecords * sizeof(Record);
+    const StreamEngine<Record> engine(opt);
+
+    const auto data = makeRecords(20'000, Distribution::UniformRandom);
+    StreamStats stats;
+    const auto out = streamSort(engine, data, &stats);
+    EXPECT_EQ(stats.effectiveEll, 4u);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end(),
+                               [](const Record &a, const Record &b) {
+                                   return a.key < b.key;
+                               }));
+    EXPECT_EQ(out.size(), data.size());
+}
+
+TEST(StreamEngine, BudgetSmallerThanOneBatchFailsLoudly)
+{
+    auto opt = smallOptions();
+    opt.batchRecords = 4096;
+    opt.bufferBudgetBytes = 1024; // less than one batch buffer
+    const StreamEngine<Record> engine(opt);
+    const auto data = makeRecords(100, Distribution::UniformRandom);
+    EXPECT_THROW(streamSort(engine, data), ContractViolation);
+}
+
+TEST(StreamEngine, BudgetBelowTwoWayMergeFailsLoudly)
+{
+    auto opt = smallOptions();
+    // Five buffers fit — one short of the 2-cursor + write-back
+    // minimum.  Must throw up front, not deadlock in acquire().
+    opt.bufferBudgetBytes = 5 * opt.batchRecords * sizeof(Record);
+    const StreamEngine<Record> engine(opt);
+    const auto data = makeRecords(100, Distribution::UniformRandom);
+    EXPECT_THROW(streamSort(engine, data), ContractViolation);
+}
+
+TEST(StreamEngine, TerminalRecordInTheStreamIsRejected)
+{
+    auto data = makeRecords(2000, Distribution::UniformRandom);
+    data[1234] = Record::terminal();
+    const StreamEngine<Record> engine(smallOptions());
+    EXPECT_THROW(streamSort(engine, data), ContractViolation);
+}
+
+TEST(StreamEngine, SourceEndingEarlyFailsLoudly)
+{
+    /** A source that claims more records than it can deliver. */
+    class ShortSource : public io::RecordSource<Record>
+    {
+      public:
+        std::uint64_t totalRecords() const override { return 1000; }
+        std::uint64_t
+        read(Record *dst, std::uint64_t max) override
+        {
+            const std::uint64_t n = std::min<std::uint64_t>(
+                max, left_ > 0 ? left_ : 0);
+            for (std::uint64_t i = 0; i < n; ++i)
+                dst[i] = Record{i + 1, i};
+            left_ -= n;
+            return n;
+        }
+
+      private:
+        std::uint64_t left_ = 700;
+    };
+
+    ShortSource source;
+    std::vector<Record> out;
+    io::MemorySink<Record> sink(out);
+    io::FileRunStore<Record> front;
+    io::FileRunStore<Record> back;
+    const StreamEngine<Record> engine(smallOptions());
+    EXPECT_THROW(engine.sortStream(source, sink, front, back),
+                 ContractViolation);
+}
+
+} // namespace
+} // namespace bonsai::sorter

@@ -2,10 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "bonsai.hpp"
 #include "common/checks.hpp"
+#include "common/contract.hpp"
 #include "common/gensort.hpp"
 #include "common/random.hpp"
+#include "io/stream.hpp"
+#include "sorter/behavioral.hpp"
 #include "sorter/sorters.hpp"
 
 namespace bonsai
@@ -115,6 +123,145 @@ TEST(DramSorter, SortsGensortRecords)
     EXPECT_TRUE(isSorted(std::span<const Record128>(packed)));
     // 128-bit records: p = 8 saturates 32 GB/s (Table VI(b)).
     EXPECT_EQ(report.config.p, 8u);
+}
+
+TEST(DramSorter, DegenerateInputsReturnZeroedReports)
+{
+    // Empty and single-record arrays are already sorted; the facade
+    // must return a zeroed report, not invoke the optimizer (whose
+    // models divide by N-dependent terms).
+    sorter::DramSorter sorter;
+    std::vector<Record> empty;
+    const auto r0 = sorter.sort(empty, 4);
+    EXPECT_EQ(r0.stream.recordsIn, 0u);
+    EXPECT_EQ(r0.stream.recordsMoved, 0u);
+    EXPECT_EQ(r0.modeledSeconds, 0.0);
+    EXPECT_EQ(r0.stages, 0u);
+
+    std::vector<Record> one{Record{42, 0}};
+    const auto r1 = sorter.sort(one, 4);
+    EXPECT_EQ(r1.stream.recordsIn, 1u);
+    EXPECT_EQ(r1.stream.recordsMoved, 0u);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].key, 42u);
+}
+
+TEST(SsdSorter, DegenerateInputsReturnZeroedReports)
+{
+    sorter::SsdSorter sorter;
+    std::vector<Record> empty;
+    const auto r0 = sorter.sort(empty, 4);
+    EXPECT_EQ(r0.stream.recordsIn, 0u);
+    EXPECT_EQ(r0.stream.mergePasses, 0u);
+    EXPECT_EQ(r0.plan.chunkRecords, 0u);
+
+    std::vector<Record> one{Record{7, 3}};
+    const auto r1 = sorter.sort(one, 4);
+    EXPECT_EQ(r1.stream.recordsIn, 1u);
+    EXPECT_EQ(r1.stream.recordsMoved, 0u);
+    EXPECT_EQ(one[0], (Record{7, 3}));
+}
+
+TEST(DramSorter, TerminalRecordInInputIsRejected)
+{
+    auto data = makeRecords(1000, Distribution::UniformRandom);
+    data[500] = Record::terminal();
+    sorter::DramSorter sorter;
+    EXPECT_THROW(sorter.sort(data, 4), ContractViolation);
+}
+
+TEST(SsdSorter, TerminalRecordInInputIsRejected)
+{
+    auto data = makeRecords(1000, Distribution::UniformRandom);
+    data[0] = Record::terminal();
+    sorter::SsdSorter sorter;
+    EXPECT_THROW(sorter.sort(data, 4), ContractViolation);
+}
+
+TEST(SsdSorter, Phase1MovesMatchInPlaceChunkSorts)
+{
+    // Regression for the old phase 1, which copied every chunk out,
+    // sorted the copy, and copied it back.  The in-place phase 1 must
+    // report exactly the moves the behavioral sorter makes on each
+    // chunk range — no copy traffic hiding in the count.
+    auto data = makeRecords(300'000, Distribution::UniformRandom, 17);
+    model::HardwareParams hw = core::awsF1();
+    hw.cDram = 800'000; // small "DRAM" forces a multi-chunk plan
+    sorter::SsdSorter sorter(hw);
+    auto reference = data;
+    const auto report = sorter.sort(data, 4);
+    ASSERT_GT(report.plan.chunkRecords, 0u);
+    const std::uint64_t chunk = report.plan.chunkRecords;
+    ASSERT_EQ(report.stream.phase1Chunks,
+              (reference.size() + chunk - 1) / chunk);
+    ASSERT_GT(report.stream.phase1Chunks, 1u);
+
+    const sorter::BehavioralSorter<Record> chunk_sorter(
+        report.plan.phase1.config.ell, 16 /* presort default */);
+    std::uint64_t expected_moves = 0;
+    for (std::uint64_t lo = 0; lo < reference.size(); lo += chunk) {
+        const std::uint64_t len =
+            std::min<std::uint64_t>(chunk, reference.size() - lo);
+        std::vector<Record> piece(reference.begin() + lo,
+                                  reference.begin() + lo + len);
+        expected_moves += chunk_sorter.sort(piece).recordsMoved;
+    }
+    EXPECT_EQ(report.stream.phase1RecordsMoved, expected_moves);
+    EXPECT_GT(report.stream.recordsMoved,
+              report.stream.phase1RecordsMoved);
+}
+
+TEST(SsdSorter, StreamedSortMatchesInMemorySort)
+{
+    // The acceptance check in miniature: the same records through the
+    // in-memory adapter and through the fully streamed path (spill
+    // files, bounded pool) must produce the same sorted sequence.
+    auto in_memory = makeRecords(200'000, Distribution::UniformRandom,
+                                 23);
+    const auto original = in_memory;
+    sorter::SsdSorter sorter;
+    sorter.setThreads(2);
+    sorter.sort(in_memory, 16);
+
+    io::MemorySource<Record> source{std::span<const Record>(original)};
+    std::vector<Record> streamed;
+    streamed.reserve(original.size());
+    io::MemorySink<Record> sink(streamed);
+    sorter::SsdSorter::StreamOptions opts;
+    opts.memoryBudgetBytes = 4ULL << 20; // 1 MiB chunks + 1 MiB pool
+    const auto report =
+        sorter.sortStream(source, sink, 16, opts);
+
+    EXPECT_EQ(streamed, in_memory);
+    EXPECT_GT(report.stream.phase1Chunks, 1u);
+    EXPECT_GE(report.stream.effectiveEll, 2u);
+    EXPECT_GT(report.stream.spillBytesWritten, 0u);
+    EXPECT_GT(report.stream.spillBytesRead, 0u);
+    // b * ell cross-check (Equation 10 analogue): the cursors' live
+    // buffer bytes fit the pool budget.
+    EXPECT_LE((2ULL * report.stream.effectiveEll + 2) *
+                  report.stream.batchRecords * sizeof(Record),
+              report.stream.bufferPoolBytes);
+}
+
+TEST(SsdSorter, StreamedDegenerateInputs)
+{
+    sorter::SsdSorter sorter;
+    std::vector<Record> none;
+    io::MemorySource<Record> empty_src{std::span<const Record>(none)};
+    std::vector<Record> out;
+    io::MemorySink<Record> sink(out);
+    const auto r0 = sorter.sortStream(empty_src, sink, 16);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(r0.stream.recordsIn, 0u);
+
+    const std::vector<Record> one{Record{9, 1}};
+    io::MemorySource<Record> one_src{std::span<const Record>(one)};
+    const auto r1 = sorter.sortStream(one_src, sink, 16);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], (Record{9, 1}));
+    EXPECT_EQ(r1.stream.recordsIn, 1u);
+    EXPECT_EQ(r1.stream.spillBytesWritten, 0u);
 }
 
 } // namespace
