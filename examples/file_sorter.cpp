@@ -153,6 +153,11 @@ cmdExtSort(const char *in_path, const char *out_path, unsigned threads,
                 static_cast<unsigned long long>(s.batchRecords),
                 static_cast<unsigned long long>(s.bufferPoolBytes >> 10),
                 s.phase2Seconds * 1e3);
+    std::printf("phase 2 parallelism: %u merge lane(s), final pass "
+                "in %u slice(s); pool peak %llu KiB\n",
+                s.concurrentGroups, s.finalSlices,
+                static_cast<unsigned long long>(
+                    s.bufferPoolPeakBytes >> 10));
     std::printf("spill traffic: %.1f MiB written, %.1f MiB read; "
                 "stalls %.1f ms read / %.1f ms write\n",
                 static_cast<double>(s.spillBytesWritten) / (1 << 20),

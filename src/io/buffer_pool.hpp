@@ -147,8 +147,8 @@ class BufferPool
     /**
      * Take a buffer of batchRecords() records, blocking while all
      * buffers are out.  Callers must bound their concurrent holdings
-     * by buffers() (the stream engine derives its fan-in from it), or
-     * acquire() deadlocks.
+     * by buffers() (the stream engine derives its fan-in *and* its
+     * phase-2 group concurrency from it), or acquire() deadlocks.
      */
     std::vector<RecordT>
     acquire()
@@ -157,6 +157,8 @@ class BufferPool
         available_.wait(lock, [this] {
             return !free_.empty() || allocated_ < count_;
         });
+        ++outstanding_;
+        peak_ = std::max(peak_, outstanding_);
         if (!free_.empty()) {
             std::vector<RecordT> buf = std::move(free_.back());
             free_.pop_back();
@@ -173,19 +175,45 @@ class BufferPool
     {
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            BONSAI_REQUIRE(outstanding_ > 0,
+                           "release without a matching acquire");
+            --outstanding_;
             free_.push_back(std::move(buf));
         }
         available_.notify_one();
+    }
+
+    /** Buffers currently held by callers. */
+    std::uint64_t
+    outstanding() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return outstanding_;
+    }
+
+    /**
+     * High-water mark of concurrently held buffers — the concurrent-
+     * acquire accounting the parallel phase-2 merge is tested against:
+     * it must never exceed buffers(), or the budget derivation
+     * admitted more lanes than the pool can feed.
+     */
+    std::uint64_t
+    peakOutstanding() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return peak_;
     }
 
   private:
     std::uint64_t batch_;
     std::uint64_t count_ = 0;
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable available_;
     std::vector<std::vector<RecordT>> free_;
     std::uint64_t allocated_ = 0;
+    std::uint64_t outstanding_ = 0;
+    std::uint64_t peak_ = 0;
 };
 
 } // namespace bonsai::io

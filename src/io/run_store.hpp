@@ -177,7 +177,9 @@ class FileRunStore : public RunStore<RecordT>
 
 /** Sink adapter writing sequentially into a store at a base offset —
  *  lets the merge writer target a store and the final-output sink
- *  through one interface. */
+ *  through one interface.  Stores are positioned by nature, so the
+ *  segment extension is supported too (concurrent disjoint writes are
+ *  part of the RunStore contract). */
 template <typename RecordT>
 class RunStoreSink : public RecordSink<RecordT>
 {
@@ -194,9 +196,26 @@ class RunStoreSink : public RecordSink<RecordT>
         pos_ += count;
     }
 
+    bool supportsSegments() const override { return true; }
+
+    void
+    beginSegments(std::uint64_t total) override
+    {
+        base_ = pos_;
+        pos_ += total;
+    }
+
+    void
+    writeSegment(std::uint64_t offset, const RecordT *src,
+                 std::uint64_t count) override
+    {
+        store_->writeAt(base_ + offset, src, count);
+    }
+
   private:
     RunStore<RecordT> *store_;
     std::uint64_t pos_;
+    std::uint64_t base_ = 0;
 };
 
 } // namespace bonsai::io

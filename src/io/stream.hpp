@@ -82,6 +82,80 @@ class RecordSink
     finish()
     {
     }
+
+    /**
+     * Sinks that can accept positioned (random-access) writes within a
+     * pre-declared window return true.  The parallel final merge pass
+     * uses this to stitch its splitter slices into the sink: every
+     * slice knows its exact output rank range up front, so slices
+     * write disjoint segments concurrently and the stored bytes are
+     * identical to a sequential write in rank order.
+     */
+    virtual bool supportsSegments() const { return false; }
+
+    /**
+     * Declare a window of @p total records that will arrive through
+     * writeSegment() calls at record offsets [0, total) relative to
+     * the current sequential position.  Called at most once between
+     * sequential writes; every offset is covered exactly once before
+     * finish().  Only valid when supportsSegments().
+     */
+    virtual void
+    beginSegments(std::uint64_t total)
+    {
+        (void)total;
+        contracts::fail("precondition", "supportsSegments()", __FILE__,
+                        __LINE__,
+                        "beginSegments() on a sink without positioned-"
+                        "write support");
+    }
+
+    /**
+     * Write @p count records at window-relative record @p offset.
+     * Safe to call concurrently for disjoint ranges.  Only valid
+     * after beginSegments().
+     */
+    virtual void
+    writeSegment(std::uint64_t offset, const RecordT *src,
+                 std::uint64_t count)
+    {
+        (void)offset;
+        (void)src;
+        (void)count;
+        contracts::fail("precondition", "supportsSegments()", __FILE__,
+                        __LINE__,
+                        "writeSegment() on a sink without positioned-"
+                        "write support");
+    }
+};
+
+/**
+ * Sequential view of one disjoint segment of a parent sink's declared
+ * window: write() forwards to writeSegment() at an advancing offset,
+ * so the double-buffered StreamWriter can drive a slice of the final
+ * merge without knowing about segments.
+ */
+template <typename RecordT>
+class SegmentSink : public RecordSink<RecordT>
+{
+  public:
+    /** @param base Window-relative record offset this segment starts
+     *  at (the slice's first global output rank). */
+    SegmentSink(RecordSink<RecordT> &parent, std::uint64_t base)
+        : parent_(&parent), pos_(base)
+    {
+    }
+
+    void
+    write(const RecordT *src, std::uint64_t count) override
+    {
+        parent_->writeSegment(pos_, src, count);
+        pos_ += count;
+    }
+
+  private:
+    RecordSink<RecordT> *parent_;
+    std::uint64_t pos_;
 };
 
 /** Source over an in-memory buffer (non-owning). */
@@ -121,8 +195,29 @@ class MemorySink : public RecordSink<RecordT>
         out_->insert(out_->end(), src, src + count);
     }
 
+    bool supportsSegments() const override { return true; }
+
+    void
+    beginSegments(std::uint64_t total) override
+    {
+        base_ = out_->size();
+        out_->resize(base_ + total);
+    }
+
+    void
+    writeSegment(std::uint64_t offset, const RecordT *src,
+                 std::uint64_t count) override
+    {
+        BONSAI_REQUIRE(base_ + offset + count <= out_->size(),
+                       "segment write beyond the declared window");
+        std::copy_n(src, count,
+                    out_->begin() +
+                        static_cast<std::ptrdiff_t>(base_ + offset));
+    }
+
   private:
     std::vector<RecordT> *out_;
+    std::uint64_t base_ = 0;
 };
 
 /** Source over a raw record file (fixed-width binary records). */
@@ -186,11 +281,32 @@ class FileSink : public RecordSink<RecordT>
         pos_ += count;
     }
 
+    bool supportsSegments() const override { return true; }
+
+    void
+    beginSegments(std::uint64_t total) override
+    {
+        base_ = pos_;
+        pos_ += total; // the window is committed up front
+    }
+
+    void
+    writeSegment(std::uint64_t offset, const RecordT *src,
+                 std::uint64_t count) override
+    {
+        // Positioned pwrite: concurrent calls on disjoint ranges are
+        // safe, which is what lets final-merge slices drain in
+        // parallel.
+        file_.writeAt((base_ + offset) * sizeof(RecordT), src,
+                      count * sizeof(RecordT));
+    }
+
     std::uint64_t recordsWritten() const { return pos_; }
 
   private:
     ByteFile file_;
     std::uint64_t pos_ = 0;
+    std::uint64_t base_ = 0;
 };
 
 } // namespace bonsai::io

@@ -20,8 +20,27 @@
  *  background worker while the merge consumes the current one, and
  *  merged output drains through a double-buffered write-back path.
  *  Batch size b and the total buffer budget mirror Equation 10's
- *  b * ell on-chip buffer bound: the effective merge fan-in is derived
- *  from the budget, so resident memory never exceeds it.
+ *  b * ell on-chip buffer bound: the effective merge fan-in AND the
+ *  number of concurrently merging groups are jointly derived from the
+ *  budget (b * (2 ell + 2) * W buffers), so resident memory never
+ *  exceeds it.
+ *
+ *  Phase 2 runs on the engine's ThreadPool (TopSort-style parallel
+ *  merge units):
+ *   - non-final passes schedule independent merge groups on up to W
+ *    "lanes", each lane owning its own prefetch and write-back
+ *    workers so I/O of concurrent groups does not serialize;
+ *   - the final pass (one group, streaming to the sink) is cut into
+ *    W key-space slices along splitters chosen in the augmented
+ *    (key, run index, position) order — Merge Path extended out of
+ *    core: run boundaries are found by batch-granularity binary
+ *    search through RunStore::readAt, each slice merges through its
+ *    own cursor set, and slices land in the sink as positioned
+ *    segments at their exact output ranks, so the byte sequence is
+ *    identical to the serial tournament for any thread count,
+ *    including equal-key floods.
+ *  When the budget admits only one lane (or the sink cannot take
+ *  positioned segments), phase 2 falls back to the serial path.
  *
  * Memory-backed stores short-circuit: when both stores expose a
  * memorySpan(), a pass runs on BehavioralSorter::runStage — the Merge
@@ -39,8 +58,11 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -72,10 +94,22 @@ struct StreamStats
     std::uint64_t spillBytesRead = 0;    ///< run-store read traffic
     unsigned mergePasses = 0;    ///< phase-2 storage round trips
     unsigned effectiveEll = 0;   ///< fan-in after the buffer budget cap
+    /** Phase-2 merge lanes the budget admits: groups merged
+     *  concurrently in non-final passes (1 = serial fallback). */
+    unsigned concurrentGroups = 0;
+    /** Splitter slices the final pass actually merged with (1 =
+     *  serial tournament). */
+    unsigned finalSlices = 0;
     std::uint64_t batchRecords = 0;    ///< streaming batch size b
     std::uint64_t bufferPoolBytes = 0; ///< bounded pool budget
+    /** High-water pool usage (streamed path only; 0 for the
+     *  zero-copy in-memory adapter, which holds no pool buffers). */
+    std::uint64_t bufferPoolPeakBytes = 0;
     double phase1Seconds = 0.0;
     double phase2Seconds = 0.0;
+    /** Stall seconds are summed across all phase-2 workers (per-
+     *  worker accounting), so with several lanes they may exceed the
+     *  phase wall clock. */
     double readStallSeconds = 0.0;  ///< merge blocked on prefetch
     double writeStallSeconds = 0.0; ///< blocked on write-back
 
@@ -400,7 +434,16 @@ class StreamEngine
     {
         StreamStats stats;
         stats.recordsIn = data.size();
+        // Unified telemetry with sortStream: the in-memory adapter
+        // reports the same batch/budget knobs (what the equivalent
+        // streamed run would be bounded by) even though its zero-copy
+        // passes hold no pool buffers; effectiveEll is the fan-in it
+        // actually merges with (memory passes are not budget-capped).
         stats.effectiveEll = opt_.phase2Ell;
+        stats.batchRecords = opt_.batchRecords;
+        stats.bufferPoolBytes = poolBudgetBytes();
+        stats.concurrentGroups = opt_.threads;
+        stats.finalSlices = opt_.threads;
         if (data.size() <= 1)
             return stats;
         ThreadPool pool(opt_.threads);
@@ -469,20 +512,94 @@ class StreamEngine
         io::BufferPool<RecordT> bufs(opt_.batchRecords,
                                      opt_.bufferBudgetBytes);
         stats.bufferPoolBytes = bufs.budgetBytes();
-        stats.effectiveEll = effectiveEll(bufs);
-        BackgroundWorker reader;
-        BackgroundWorker writer;
+        const Phase2Shape shape = phase2Shape(bufs);
+        stats.effectiveEll = shape.ell;
+        stats.concurrentGroups = shape.lanes;
+        // One reader/writer worker pair per lane, so concurrent
+        // groups never serialize their prefetches behind one worker;
+        // lane 0 doubles as the phase-1 spill writer.
+        std::vector<std::unique_ptr<Lane>> lanes;
+        lanes.reserve(shape.lanes);
+        for (unsigned i = 0; i < shape.lanes; ++i)
+            lanes.push_back(std::make_unique<Lane>());
 
-        runPhase1(source, front, pool, writer, stats);
-        runPhase2(front, back, sink, bufs, reader, writer, stats);
+        runPhase1(source, front, pool, lanes[0]->writer, stats);
+        runPhase2(front, back, sink, bufs, lanes, pool, stats);
 
         stats.spillBytesWritten =
             front.bytesWritten() + back.bytesWritten();
         stats.spillBytesRead = front.bytesRead() + back.bytesRead();
+        stats.bufferPoolPeakBytes = bufs.peakOutstanding() *
+            bufs.batchRecords() * sizeof(RecordT);
         return stats;
     }
 
   private:
+    /** Per-lane background I/O workers: one phase-2 merge lane owns a
+     *  prefetch thread and a write-back thread for the whole sort. */
+    struct Lane
+    {
+        BackgroundWorker reader;
+        BackgroundWorker writer;
+    };
+
+    /** Stall/move tally of one merge task, accumulated race-free per
+     *  worker and folded into StreamStats under a mutex. */
+    struct GroupTally
+    {
+        std::uint64_t moved = 0;
+        double readStall = 0.0;
+        double writeStall = 0.0;
+    };
+
+    /** Joint phase-2 shape admitted by the Equation-10 pool budget
+     *  b * (2 ell + 2) * W. */
+    struct Phase2Shape
+    {
+        unsigned ell = 2;   ///< effective merge fan-in
+        unsigned lanes = 1; ///< concurrent merge groups / final slices
+    };
+
+    /** Free-lane allocator: group tasks lease a lane for the duration
+     *  of one merge, bounding concurrent pool holdings to
+     *  lanes * (2 ell + 2) buffers no matter how wide the thread pool
+     *  is. */
+    class LaneLeases
+    {
+      public:
+        explicit LaneLeases(unsigned lanes)
+        {
+            free_.reserve(lanes);
+            for (unsigned i = 0; i < lanes; ++i)
+                free_.push_back(lanes - 1 - i);
+        }
+
+        unsigned
+        acquire()
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ready_.wait(lock, [this] { return !free_.empty(); });
+            const unsigned lane = free_.back();
+            free_.pop_back();
+            return lane;
+        }
+
+        void
+        release(unsigned lane)
+        {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                free_.push_back(lane);
+            }
+            ready_.notify_one();
+        }
+
+      private:
+        std::mutex mutex_;
+        std::condition_variable ready_;
+        std::vector<unsigned> free_;
+    };
+
     std::uint64_t
     chunkLength(std::uint64_t total) const
     {
@@ -499,12 +616,31 @@ class StreamEngine
             .count();
     }
 
-    /** Fan-in the buffer budget supports: 2 buffers per input cursor
-     *  plus 2 for the output writer.  Fails loudly (all build types)
-     *  when even a 2-way merge does not fit — blocking acquire()s
-     *  would otherwise deadlock mid-sort. */
-    unsigned
-    effectiveEll(const io::BufferPool<RecordT> &bufs) const
+    /** Bytes a BufferPool with these options would be allowed to hold
+     *  — telemetry for the in-memory adapter, computed without
+     *  constructing a pool (which fails loudly on tiny budgets). */
+    std::uint64_t
+    poolBudgetBytes() const
+    {
+        const std::uint64_t batch_bytes =
+            opt_.batchRecords * sizeof(RecordT);
+        if (batch_bytes == 0)
+            return 0;
+        return (opt_.bufferBudgetBytes / batch_bytes) * batch_bytes;
+    }
+
+    /** Joint (fan-in, lanes) derivation from the pool budget — the
+     *  Equation-10 bound generalized to W concurrent merge units:
+     *  one lane needs 2 buffers per input cursor plus 2 for its
+     *  write-back, so W lanes of fan-in ell fit when
+     *  (2 ell + 2) * W <= buffers().  Fan-in is maximized first (it
+     *  cuts the number of storage round trips, the dominant cost),
+     *  then whatever budget is left admits extra lanes, capped at
+     *  the thread count.  Fails loudly (all build types) when even
+     *  one 2-way lane does not fit — blocking acquire()s would
+     *  otherwise deadlock mid-sort. */
+    Phase2Shape
+    phase2Shape(const io::BufferPool<RecordT> &bufs) const
     {
         const std::uint64_t have = bufs.buffers();
         if (have < 6)
@@ -517,9 +653,14 @@ class StreamEngine
                     " batch buffer(s); a streaming merge needs at "
                     "least 6 (2 per input run of a 2-way merge + 2 "
                     "for write-back)");
-        const std::uint64_t fan = (have - 2) / 2;
-        return static_cast<unsigned>(
-            std::min<std::uint64_t>(opt_.phase2Ell, fan));
+        Phase2Shape shape;
+        shape.ell = static_cast<unsigned>(std::min<std::uint64_t>(
+            opt_.phase2Ell, (have - 2) / 2));
+        const std::uint64_t per_lane = 2ULL * shape.ell + 2;
+        shape.lanes = static_cast<unsigned>(std::max<std::uint64_t>(
+            1,
+            std::min<std::uint64_t>(opt_.threads, have / per_lane)));
+        return shape;
     }
 
     /** Stream chunks in, sort in place, spill runs — write-back of
@@ -619,13 +760,24 @@ class StreamEngine
         }
     }
 
+    static void
+    foldTally(const GroupTally &t, StreamStats &stats)
+    {
+        stats.recordsMoved += t.moved;
+        stats.readStallSeconds += t.readStall;
+        stats.writeStallSeconds += t.writeStall;
+    }
+
     /** Merge passes between the stores; the pass that collapses to a
-     *  single run streams into the sink instead. */
+     *  single run streams into the sink instead.  Non-final passes
+     *  spread independent groups across the merge lanes; the final
+     *  pass is splitter-partitioned across them. */
     void
     runPhase2(io::RunStore<RecordT> &front, io::RunStore<RecordT> &back,
               io::RecordSink<RecordT> &sink,
-              io::BufferPool<RecordT> &bufs, BackgroundWorker &reader,
-              BackgroundWorker &writer, StreamStats &stats) const
+              io::BufferPool<RecordT> &bufs,
+              std::vector<std::unique_ptr<Lane>> &lanes,
+              ThreadPool &pool, StreamStats &stats) const
     {
         const auto t2 = std::chrono::steady_clock::now();
         const unsigned ell = stats.effectiveEll;
@@ -633,25 +785,16 @@ class StreamEngine
         io::RunStore<RecordT> *dst = &back;
         for (;;) {
             const StagePlan plan(src->runs(), ell);
-            const bool last = plan.groups() == 1;
-            const std::vector<RunSpan> out = plan.outputRuns();
-            for (std::uint64_t g = 0; g < plan.groups(); ++g) {
-                const std::vector<RunSpan> members = plan.groupRuns(g);
-                if (members.empty())
-                    continue;
-                if (last) {
-                    mergeGroup(*src, members, sink, bufs, reader,
-                               writer, stats);
-                } else {
-                    io::RunStoreSink<RecordT> gsink(*dst,
-                                                    out[g].offset);
-                    mergeGroup(*src, members, gsink, bufs, reader,
-                               writer, stats);
-                }
-            }
-            ++stats.mergePasses;
-            if (last)
+            if (plan.groups() == 1) {
+                finalPass(*src, plan.groupRuns(0), sink, bufs, lanes,
+                          pool, stats);
+                ++stats.mergePasses;
                 break;
+            }
+            const std::vector<RunSpan> out = plan.outputRuns();
+            mergePassStreamed(*src, *dst, plan, out, bufs, lanes,
+                              pool, stats);
+            ++stats.mergePasses;
             dst->setRuns(out);
             src->setRuns({});
             std::swap(src, dst);
@@ -660,14 +803,337 @@ class StreamEngine
         stats.phase2Seconds = secondsSince(t2);
     }
 
-    /** Stream-merge one group of runs from @p src into @p out. */
+    /** One non-final pass: independent merge groups are scheduled on
+     *  the thread pool, each leasing one of the W lanes for its I/O
+     *  workers and its share of the buffer budget. */
     void
+    mergePassStreamed(io::RunStore<RecordT> &src,
+                      io::RunStore<RecordT> &dst, const StagePlan &plan,
+                      const std::vector<RunSpan> &out,
+                      io::BufferPool<RecordT> &bufs,
+                      std::vector<std::unique_ptr<Lane>> &lanes,
+                      ThreadPool &pool, StreamStats &stats) const
+    {
+        std::vector<std::uint64_t> work;
+        for (std::uint64_t g = 0; g < plan.groups(); ++g)
+            if (!plan.groupRuns(g).empty())
+                work.push_back(g);
+        const std::size_t width =
+            std::min<std::size_t>(lanes.size(), work.size());
+        std::vector<GroupTally> tallies(work.size());
+        if (width <= 1) {
+            for (std::size_t i = 0; i < work.size(); ++i)
+                tallies[i] = mergeOneGroup(src, plan, out, work[i],
+                                           dst, bufs, *lanes[0]);
+        } else {
+            // parallelFor tasks must not throw (a leaked exception
+            // kills a pool worker), so trap the first error and
+            // rethrow it after the join.
+            LaneLeases leases(static_cast<unsigned>(width));
+            std::mutex err_mutex;
+            std::exception_ptr first_err;
+            pool.parallelFor(work.size(), [&](std::uint64_t i) {
+                const unsigned lane = leases.acquire();
+                try {
+                    tallies[i] = mergeOneGroup(src, plan, out,
+                                               work[i], dst, bufs,
+                                               *lanes[lane]);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(err_mutex);
+                    if (!first_err)
+                        first_err = std::current_exception();
+                }
+                leases.release(lane);
+            });
+            if (first_err)
+                std::rethrow_exception(first_err);
+        }
+        for (const GroupTally &t : tallies)
+            foldTally(t, stats);
+    }
+
+    /** Merge (or, for a singleton group, batch-copy) group @p g of
+     *  @p plan into its output run in @p dst. */
+    GroupTally
+    mergeOneGroup(const io::RunStore<RecordT> &src,
+                  const StagePlan &plan,
+                  const std::vector<RunSpan> &out, std::uint64_t g,
+                  io::RunStore<RecordT> &dst,
+                  io::BufferPool<RecordT> &bufs, Lane &lane) const
+    {
+        const std::vector<RunSpan> members = plan.groupRuns(g);
+        io::RunStoreSink<RecordT> gsink(dst, out[g].offset);
+        if (members.size() == 1)
+            return copyRun(src, members[0], gsink, bufs, lane.writer);
+        return mergeGroup(src, members, gsink, bufs, lane.reader,
+                          lane.writer);
+    }
+
+    /** The final pass (one group, streaming to the sink): cut the
+     *  key space into per-lane slices along splitters chosen in the
+     *  augmented (key, run index, position) order and stitch the
+     *  slices into the sink as positioned segments at their exact
+     *  output ranks — byte-identical to the serial tournament for
+     *  any lane count.  Falls back to the serial merge when the
+     *  group is small or the sink cannot take positioned writes. */
+    void
+    finalPass(const io::RunStore<RecordT> &src,
+              const std::vector<RunSpan> &members,
+              io::RecordSink<RecordT> &sink,
+              io::BufferPool<RecordT> &bufs,
+              std::vector<std::unique_ptr<Lane>> &lanes,
+              ThreadPool &pool, StreamStats &stats) const
+    {
+        if (members.size() == 1) {
+            stats.finalSlices = 1;
+            foldTally(copyRun(src, members[0], sink, bufs,
+                              lanes[0]->writer),
+                      stats);
+            return;
+        }
+        std::uint64_t total = 0;
+        for (const RunSpan &m : members)
+            total += m.length;
+        // Below ~2 batches per slice the cut overhead outweighs the
+        // parallelism; and without positioned segment support the
+        // slices cannot land concurrently.
+        std::uint64_t slices = std::min<std::uint64_t>(
+            lanes.size(), total / (2 * bufs.batchRecords()));
+        if (!sink.supportsSegments())
+            slices = 1;
+        if (slices <= 1) {
+            stats.finalSlices = 1;
+            foldTally(mergeGroup(src, members, sink, bufs,
+                                 lanes[0]->reader, lanes[0]->writer),
+                      stats);
+            return;
+        }
+        const std::vector<std::vector<std::uint64_t>> cuts =
+            sliceCuts(src, members, static_cast<unsigned>(slices),
+                      bufs);
+        // Slice t's first output rank is the sum of its start cuts.
+        std::vector<std::uint64_t> base(slices + 1, 0);
+        for (std::uint64_t t = 0; t <= slices; ++t)
+            for (std::size_t j = 0; j < members.size(); ++j)
+                base[t] += cuts[t][j];
+        BONSAI_ENSURE(base[slices] == total,
+                      "splitter cuts must partition the final group");
+        sink.beginSegments(total);
+        stats.finalSlices = static_cast<unsigned>(slices);
+        std::vector<GroupTally> tallies(slices);
+        std::mutex err_mutex;
+        std::exception_ptr first_err;
+        pool.parallelFor(slices, [&](std::uint64_t t) {
+            try {
+                // Keep every member — empty sub-spans included — in
+                // member order, so cursor indices (the equal-key tie
+                // break) match the serial tournament's.
+                std::vector<RunSpan> sub;
+                sub.reserve(members.size());
+                for (std::size_t j = 0; j < members.size(); ++j)
+                    sub.push_back(
+                        RunSpan{members[j].offset + cuts[t][j],
+                                cuts[t + 1][j] - cuts[t][j]});
+                io::SegmentSink<RecordT> seg(sink, base[t]);
+                tallies[t] = mergeGroup(src, sub, seg, bufs,
+                                        lanes[t]->reader,
+                                        lanes[t]->writer);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mutex);
+                if (!first_err)
+                    first_err = std::current_exception();
+            }
+        });
+        if (first_err)
+            std::rethrow_exception(first_err);
+        for (const GroupTally &t : tallies)
+            foldTally(t, stats);
+    }
+
+    /** Cut matrix for the splitter-partitioned final pass:
+     *  cuts[t][j] = records of member j that precede slice t's start
+     *  in the augmented (key, run index, position) order.  Row 0 is
+     *  all zeros, row `slices` is the member lengths, and rows are
+     *  monotone — consecutive rows delimit disjoint sub-spans whose
+     *  concatenation in t order is exactly the serial tournament
+     *  output (any monotone sequence of consistent cuts is). */
+    std::vector<std::vector<std::uint64_t>>
+    sliceCuts(const io::RunStore<RecordT> &src,
+              const std::vector<RunSpan> &members, unsigned slices,
+              io::BufferPool<RecordT> &bufs) const
+    {
+        struct Sample
+        {
+            RecordT rec;
+            std::size_t j = 0;
+            std::uint64_t pos = 0;
+        };
+        const std::uint64_t batch = bufs.batchRecords();
+        std::uint64_t total = 0;
+        for (const RunSpan &m : members)
+            total += m.length;
+        // Batch-aligned sampling: pivots land on batch heads of
+        // their own run, and every probe is a 1-record readAt.
+        std::uint64_t stride = std::max<std::uint64_t>(
+            batch, total / (std::uint64_t(slices) * 32));
+        stride = ((stride + batch - 1) / batch) * batch;
+        std::vector<Sample> samples;
+        for (std::size_t j = 0; j < members.size(); ++j) {
+            for (std::uint64_t pos = 0; pos < members[j].length;
+                 pos += stride) {
+                Sample s;
+                src.readAt(members[j].offset + pos, &s.rec, 1);
+                s.j = j;
+                s.pos = pos;
+                samples.push_back(s);
+            }
+        }
+        std::sort(samples.begin(), samples.end(),
+                  [](const Sample &a, const Sample &b) {
+                      if (a.rec < b.rec)
+                          return true;
+                      if (b.rec < a.rec)
+                          return false;
+                      if (a.j != b.j)
+                          return a.j < b.j;
+                      return a.pos < b.pos;
+                  });
+        std::vector<std::vector<std::uint64_t>> cuts(
+            slices + 1,
+            std::vector<std::uint64_t>(members.size(), 0));
+        for (std::size_t j = 0; j < members.size(); ++j)
+            cuts[slices][j] = members[j].length;
+        std::vector<RecordT> win = bufs.acquire();
+        try {
+            for (unsigned t = 1; t < slices; ++t) {
+                const Sample &pivot =
+                    samples[samples.size() * t / slices];
+                for (std::size_t j = 0; j < members.size(); ++j) {
+                    if (j == pivot.j)
+                        cuts[t][j] = pivot.pos;
+                    else
+                        cuts[t][j] = keyBoundary(src, members[j],
+                                                 pivot.rec,
+                                                 j < pivot.j, win);
+                }
+            }
+        } catch (...) {
+            bufs.release(std::move(win));
+            throw;
+        }
+        bufs.release(std::move(win));
+        return cuts;
+    }
+
+    /** Records of @p m preceding @p pivot in the augmented order,
+     *  found out of core: binary-search the run's batch heads with
+     *  1-record reads, then partition one <= batch window (Merge
+     *  Path's boundary search at batch granularity).  @p equal_before
+     *  encodes the tie rule: true for runs left of the pivot's run
+     *  (equal keys precede the pivot), false for runs right of it. */
+    std::uint64_t
+    keyBoundary(const io::RunStore<RecordT> &src, const RunSpan &m,
+                const RecordT &pivot, bool equal_before,
+                std::vector<RecordT> &win) const
+    {
+        if (m.length == 0)
+            return 0;
+        const auto before = [&](const RecordT &rec) {
+            return equal_before ? !(pivot < rec) : rec < pivot;
+        };
+        const std::uint64_t batch = win.size();
+        const std::uint64_t nb = (m.length + batch - 1) / batch;
+        std::uint64_t lo = 0; // batch heads below lo are `before`
+        std::uint64_t hi = nb;
+        while (lo < hi) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            RecordT head;
+            src.readAt(m.offset + mid * batch, &head, 1);
+            if (before(head))
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        if (lo == 0)
+            return 0; // even the first record is past the boundary
+        const std::uint64_t start = (lo - 1) * batch;
+        const std::uint64_t len =
+            std::min<std::uint64_t>(batch, m.length - start);
+        src.readAt(m.offset + start, win.data(), len);
+        const RecordT *split = std::partition_point(
+            win.data(), win.data() + len, before);
+        return start + static_cast<std::uint64_t>(split - win.data());
+    }
+
+    /** Singleton-group bypass: a 1-member group needs no tournament —
+     *  batch-copy the run to @p out, the read of batch k overlapping
+     *  the write-back of batch k-1. */
+    GroupTally
+    copyRun(const io::RunStore<RecordT> &src, const RunSpan &run,
+            io::RecordSink<RecordT> &out, io::BufferPool<RecordT> &bufs,
+            BackgroundWorker &writer) const
+    {
+        GroupTally tally;
+        const std::uint64_t batch = bufs.batchRecords();
+        std::array<std::vector<RecordT>, 2> buf = {bufs.acquire(),
+                                                   bufs.acquire()};
+        std::array<io::TaskGate, 2> gate;
+        std::array<std::uint64_t, 2> len = {0, 0};
+        try {
+            unsigned slot = 0;
+            std::uint64_t done = 0;
+            while (done < run.length) {
+                const std::uint64_t n =
+                    std::min<std::uint64_t>(batch, run.length - done);
+                // This buffer's previous write must have landed.
+                tally.writeStall += gate[slot].wait();
+                src.readAt(run.offset + done, buf[slot].data(), n);
+                len[slot] = n;
+                io::TaskGate *g = &gate[slot];
+                const std::vector<RecordT> *b = &buf[slot];
+                const std::uint64_t *l = &len[slot];
+                g->arm();
+                writer.post([&out, g, b, l] {
+                    try {
+                        out.write(b->data(), *l);
+                    } catch (...) {
+                        g->fail(std::current_exception());
+                        return;
+                    }
+                    g->open();
+                });
+                done += n;
+                slot ^= 1;
+            }
+            tally.writeStall += gate[0].wait() + gate[1].wait();
+        } catch (...) {
+            // An in-flight write still references buf; quiesce the
+            // gates before the buffers return to the pool.
+            for (io::TaskGate &g : gate) {
+                try {
+                    g.wait();
+                } catch (...) { // NOLINT(bugprone-empty-catch)
+                }
+            }
+            bufs.release(std::move(buf[0]));
+            bufs.release(std::move(buf[1]));
+            throw;
+        }
+        bufs.release(std::move(buf[0]));
+        bufs.release(std::move(buf[1]));
+        tally.moved = run.length;
+        return tally;
+    }
+
+    /** Stream-merge one group of runs from @p src into @p out. */
+    GroupTally
     mergeGroup(const io::RunStore<RecordT> &src,
                const std::vector<RunSpan> &members,
                io::RecordSink<RecordT> &out,
                io::BufferPool<RecordT> &bufs, BackgroundWorker &reader,
-               BackgroundWorker &writer, StreamStats &stats) const
+               BackgroundWorker &writer) const
     {
+        GroupTally tally;
         std::vector<std::unique_ptr<RunCursor<RecordT>>> cursors;
         cursors.reserve(members.size());
         for (const RunSpan &m : members)
@@ -675,16 +1141,15 @@ class StreamEngine
                 src, m, bufs, reader));
         StreamWriter<RecordT> drain(out, bufs, writer);
         CursorMerge<RecordT> merge(cursors);
-        std::uint64_t moved = 0;
         while (!merge.done()) {
             drain.push(merge.pop());
-            ++moved;
+            ++tally.moved;
         }
         drain.finish();
-        stats.recordsMoved += moved;
         for (const auto &c : cursors)
-            stats.readStallSeconds += c->stallSeconds();
-        stats.writeStallSeconds += drain.stallSeconds();
+            tally.readStall += c->stallSeconds();
+        tally.writeStall += drain.stallSeconds();
+        return tally;
     }
 
     /** One store-to-store merge pass; memory-backed store pairs run

@@ -338,7 +338,8 @@ class SsdSorter
         eng.batchRecords = opts.batchRecords != 0
             ? opts.batchRecords
             : defaultBatchRecords<RecordT>(*plan, record_bytes,
-                                           eng.bufferBudgetBytes);
+                                           eng.bufferBudgetBytes,
+                                           threads_);
         eng.threads = threads_;
 
         io::FileRunStore<RecordT> front(opts.spillDir);
@@ -356,18 +357,27 @@ class SsdSorter
   private:
     /** Default streaming batch b: the planner's Equation 10 batch
      *  (phase2.batchBytes, the largest b with lambda*b*ell <= C_BRAM),
-     *  capped so the pool keeps >= 8 buffers — explicit user batches
-     *  are taken as-is and fail loudly if the pool cannot hold one. */
+     *  capped so the pool can hold one full merge lane per requested
+     *  thread — W lanes of fan-in ell need (2 ell + 2) * W buffers
+     *  (and never fewer than 8) — so asking for more threads shrinks
+     *  b instead of silently serializing phase 2.  Explicit user
+     *  batches are taken as-is and fail loudly if the pool cannot
+     *  hold one. */
     template <typename RecordT>
     static std::uint64_t
     defaultBatchRecords(const core::SsdPlan &plan,
                         std::uint64_t record_bytes,
-                        std::uint64_t pool_budget_bytes)
+                        std::uint64_t pool_budget_bytes,
+                        unsigned threads)
     {
         std::uint64_t batch = std::max<std::uint64_t>(
             plan.phase2.batchBytes / record_bytes, 1);
+        const std::uint64_t lane_buffers =
+            (2ULL * plan.phase2.config.ell + 2) * threads;
+        const std::uint64_t want_buffers =
+            std::max<std::uint64_t>(8, lane_buffers);
         const std::uint64_t cap = std::max<std::uint64_t>(
-            pool_budget_bytes / (8 * sizeof(RecordT)), 1);
+            pool_budget_bytes / (want_buffers * sizeof(RecordT)), 1);
         return std::min(batch, cap);
     }
 

@@ -67,6 +67,96 @@ TEST(MemoryStreams, SinkAppendsAcrossWrites)
     EXPECT_EQ(out, recs);
 }
 
+TEST(MemoryStreams, SegmentWritesLandAtTheirDeclaredOffsets)
+{
+    // Out-of-order positioned writes must reassemble the sequential
+    // byte sequence — the property the parallel final merge pass
+    // stitches its slices with.
+    const auto recs = makeRecords(10);
+    std::vector<Record> out;
+    MemorySink<Record> sink(out);
+    ASSERT_TRUE(sink.supportsSegments());
+    sink.write(recs.data(), 2); // sequential prefix
+    sink.beginSegments(8);
+    sink.writeSegment(5, recs.data() + 7, 3); // tail first
+    sink.writeSegment(0, recs.data() + 2, 5);
+    sink.finish();
+    EXPECT_EQ(out, recs);
+}
+
+TEST(MemoryStreams, SegmentSinkForwardsAsPositionedWrites)
+{
+    const auto recs = makeRecords(6);
+    std::vector<Record> out;
+    MemorySink<Record> sink(out);
+    sink.beginSegments(6);
+    // Two segment views draining in reverse creation order: the
+    // offsets, not the call order, decide placement.
+    SegmentSink<Record> hi(sink, 4);
+    SegmentSink<Record> lo(sink, 0);
+    hi.write(recs.data() + 4, 2);
+    lo.write(recs.data(), 3);
+    lo.write(recs.data() + 3, 1);
+    sink.finish();
+    EXPECT_EQ(out, recs);
+}
+
+TEST(MemoryStreams, SegmentWriteBeyondTheWindowIsRejected)
+{
+    if (!contracts::enabled())
+        GTEST_SKIP() << "contracts compiled out of this build";
+    const auto recs = makeRecords(4);
+    std::vector<Record> out;
+    MemorySink<Record> sink(out);
+    sink.beginSegments(2);
+    EXPECT_THROW(sink.writeSegment(1, recs.data(), 2),
+                 ContractViolation);
+}
+
+TEST(RecordSinkDefaults, SegmentCallsOnAPlainSinkFailLoudly)
+{
+    /** Minimal sequential-only sink. */
+    class PlainSink : public RecordSink<Record>
+    {
+      public:
+        void write(const Record *, std::uint64_t) override {}
+    };
+    PlainSink sink;
+    Record rec{1, 1};
+    EXPECT_FALSE(sink.supportsSegments());
+    EXPECT_THROW(sink.beginSegments(4), ContractViolation);
+    EXPECT_THROW(sink.writeSegment(0, &rec, 1), ContractViolation);
+}
+
+TEST(FileStreams, SegmentWritesMatchASequentialSink)
+{
+    const auto recs = makeRecords(1000);
+    TempPath seq("stream_seq.bin");
+    TempPath seg("stream_seg.bin");
+    {
+        FileSink<Record> sink(ByteFile::create(seq.str()));
+        sink.write(recs.data(), 1000);
+        sink.finish();
+    }
+    {
+        FileSink<Record> sink(ByteFile::create(seg.str()));
+        ASSERT_TRUE(sink.supportsSegments());
+        sink.write(recs.data(), 100);
+        sink.beginSegments(900);
+        sink.writeSegment(500, recs.data() + 600, 400);
+        sink.writeSegment(0, recs.data() + 100, 500);
+        sink.finish();
+        EXPECT_EQ(sink.recordsWritten(), 1000u);
+    }
+    FileSource<Record> a(ByteFile::openRead(seq.str()));
+    FileSource<Record> b(ByteFile::openRead(seg.str()));
+    ASSERT_EQ(a.totalRecords(), b.totalRecords());
+    std::vector<Record> ra(1000), rb(1000);
+    ASSERT_EQ(a.read(ra.data(), 1000), 1000u);
+    ASSERT_EQ(b.read(rb.data(), 1000), 1000u);
+    EXPECT_EQ(ra, rb);
+}
+
 TEST(FileStreams, SinkThenSourceRoundTrips)
 {
     const auto recs = makeRecords(1000);

@@ -89,12 +89,162 @@ TEST(StreamEngine, StreamedOutputIsByteIdenticalToInPlace)
 
     // 30 chunk runs at fan-in 4 need 3 passes (30 -> 8 -> 2 -> 1);
     // phase 1 spills n records, every non-final pass another n, and
-    // every pass reads n back — one "SSD round trip" per pass.
+    // every pass reads n back.  Writes are exact for any thread
+    // count; reads gain a little splitter-probe traffic when the
+    // final pass runs sliced, so they are only bounded here (the
+    // serial engine's reads are exact — see the accounting test).
     EXPECT_EQ(stats.effectiveEll, 4u);
     EXPECT_EQ(stats.mergePasses, 3u);
     const std::uint64_t n_bytes = 30'000u * sizeof(Record);
     EXPECT_EQ(stats.spillBytesWritten, n_bytes * stats.mergePasses);
+    EXPECT_GE(stats.spillBytesRead, n_bytes * stats.mergePasses);
+    EXPECT_LT(stats.spillBytesRead,
+              n_bytes * stats.mergePasses + n_bytes / 10);
+}
+
+TEST(StreamEngine, SerialStreamSpillAccountingIsExact)
+{
+    // threads = 1 forces one lane and a serial final pass: no
+    // splitter probes, so spill traffic is exactly one full round
+    // trip per merge pass.
+    auto opt = smallOptions();
+    opt.threads = 1;
+    const StreamEngine<Record> engine(opt);
+
+    const auto data = makeRecords(30'000, Distribution::FewDistinct);
+    StreamStats stats;
+    streamSort(engine, data, &stats);
+    EXPECT_EQ(stats.concurrentGroups, 1u);
+    EXPECT_EQ(stats.finalSlices, 1u);
+    EXPECT_EQ(stats.mergePasses, 3u);
+    const std::uint64_t n_bytes = 30'000u * sizeof(Record);
+    EXPECT_EQ(stats.spillBytesWritten, n_bytes * stats.mergePasses);
     EXPECT_EQ(stats.spillBytesRead, n_bytes * stats.mergePasses);
+}
+
+/** Heavy skew: 90% of the keys collide on one hot value, the rest
+ *  rise monotonically — adversarial for splitter balance. */
+std::vector<Record>
+makeSkewedRecords(std::uint64_t n)
+{
+    std::vector<Record> data(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t key = (i % 10 != 0) ? 5 : 5 + i;
+        data[i] = Record{key, i};
+    }
+    return data;
+}
+
+TEST(StreamEngine, ParallelStreamIsByteIdenticalAcrossThreadCounts)
+{
+    // The tentpole invariant: the streamed sort emits the identical
+    // byte sequence for any thread count — concurrent non-final
+    // groups and the splitter-partitioned final pass included —
+    // even under equal-key floods where only the augmented (key,
+    // run index, position) order disambiguates.
+    std::vector<std::vector<Record>> inputs;
+    inputs.push_back(makeRecords(30'000, Distribution::FewDistinct));
+    inputs.push_back(makeRecords(30'000, Distribution::AllEqual));
+    inputs.push_back(makeRecords(30'000, Distribution::UniformRandom));
+    inputs.push_back(makeSkewedRecords(30'000));
+
+    for (const auto &data : inputs) {
+        auto in_place = data;
+        auto opt = smallOptions();
+        opt.threads = 1;
+        StreamEngine<Record>(opt).sortInPlace(in_place);
+
+        for (const unsigned threads : {1u, 2u, 8u}) {
+            opt.threads = threads;
+            const StreamEngine<Record> engine(opt);
+            StreamStats stats;
+            const auto streamed = streamSort(engine, data, &stats);
+            ASSERT_EQ(streamed, in_place)
+                << "thread count " << threads
+                << " changed the output bytes";
+            if (threads >= 2) {
+                EXPECT_GE(stats.concurrentGroups, 2u);
+                EXPECT_GE(stats.finalSlices, 2u);
+            }
+        }
+    }
+}
+
+TEST(StreamEngine, SingletonGroupIsBatchCopiedNotMerged)
+{
+    // 3 runs at fan-in 2 leave a 1-member group; the bypass must
+    // batch-copy it with the same moved-records accounting as the
+    // in-place backend (which charges every pass its full total).
+    auto opt = smallOptions();
+    opt.phase2Ell = 2;
+    const StreamEngine<Record> engine(opt);
+
+    const auto data = makeRecords(3'000, Distribution::UniformRandom);
+    auto in_place = data;
+    const StreamStats mem = engine.sortInPlace(in_place);
+
+    StreamStats stats;
+    const auto streamed = streamSort(engine, data, &stats);
+    EXPECT_EQ(streamed, in_place);
+    EXPECT_EQ(stats.phase1Chunks, 3u);
+    EXPECT_EQ(stats.mergePasses, 2u); // 3 -> 2 -> 1
+    EXPECT_EQ(stats.recordsMoved, mem.recordsMoved);
+}
+
+TEST(StreamEngine, BudgetAdmittingOneLaneFallsBackToSerial)
+{
+    // 10 buffers hold exactly one fan-in-4 lane (2*4 + 2); the shape
+    // derivation must admit a single lane no matter how many threads
+    // were requested, and the output must not change.
+    auto opt = smallOptions();
+    opt.bufferBudgetBytes = 10 * opt.batchRecords * sizeof(Record);
+    opt.threads = 8;
+    const StreamEngine<Record> engine(opt);
+
+    const auto data = makeRecords(20'000, Distribution::FewDistinct);
+    auto in_place = data;
+    engine.sortInPlace(in_place);
+
+    StreamStats stats;
+    const auto streamed = streamSort(engine, data, &stats);
+    EXPECT_EQ(streamed, in_place);
+    EXPECT_EQ(stats.effectiveEll, 4u);
+    EXPECT_EQ(stats.concurrentGroups, 1u);
+    EXPECT_EQ(stats.finalSlices, 1u);
+}
+
+TEST(StreamEngine, PoolPeakStaysWithinTheBudget)
+{
+    auto opt = smallOptions();
+    opt.threads = 8;
+    const StreamEngine<Record> engine(opt);
+    const auto data = makeRecords(30'000, Distribution::UniformRandom);
+    StreamStats stats;
+    streamSort(engine, data, &stats);
+    EXPECT_GT(stats.bufferPoolPeakBytes, 0u);
+    EXPECT_LE(stats.bufferPoolPeakBytes, stats.bufferPoolBytes);
+}
+
+TEST(StreamEngine, InPlaceAndStreamedReportUnifiedTelemetry)
+{
+    // The in-memory adapter must fill the same telemetry fields the
+    // streamed path does, so benches compare backends like for like.
+    const auto opt = smallOptions();
+    const StreamEngine<Record> engine(opt);
+
+    auto data = makeRecords(10'000, Distribution::UniformRandom);
+    const StreamStats mem = engine.sortInPlace(data);
+    StreamStats streamed;
+    streamSort(engine, makeRecords(10'000, Distribution::UniformRandom),
+               &streamed);
+
+    EXPECT_EQ(mem.batchRecords, opt.batchRecords);
+    EXPECT_EQ(mem.batchRecords, streamed.batchRecords);
+    EXPECT_EQ(mem.bufferPoolBytes, streamed.bufferPoolBytes);
+    EXPECT_GT(mem.bufferPoolBytes, 0u);
+    EXPECT_GT(mem.effectiveEll, 0u);
+    EXPECT_GT(mem.concurrentGroups, 0u);
+    EXPECT_GT(mem.finalSlices, 0u);
 }
 
 TEST(StreamEngine, EmptySourceProducesEmptyOutput)
