@@ -46,7 +46,14 @@ require_tool() {
     return 1
 }
 
-# 1. Project style rules (pure python, always available).
+# 1. Project style rules (pure python, always available).  The
+#    self-test proves the checker itself still rejects what it must
+#    (e.g. a raw std::mutex outside common/sync.hpp) before its
+#    verdict on the real tree is trusted.
+note "lint: running scripts/check_style.py --self-test"
+if ! python3 scripts/check_style.py --self-test; then
+    failures=$((failures + 1))
+fi
 note "lint: running scripts/check_style.py"
 if ! python3 scripts/check_style.py; then
     failures=$((failures + 1))

@@ -22,29 +22,32 @@
  *    a later job or run a retired job's function;
  *  - a pool with threads() == 1 runs jobs inline with zero overhead
  *    (no workers are spawned);
- *  - jobs are data-race-free (TSan-clean): claiming is a single
- *    acq_rel fetch-add and completion is released through the job
- *    mutex/condition variable.
+ *  - jobs are data-race-free: claiming is a single acq_rel fetch-add
+ *    and completion is released through the job mutex/condition
+ *    variable — checked dynamically by TSan and statically by Clang's
+ *    -Wthread-safety over the common/sync.hpp annotations (every
+ *    job-state member is BONSAI_GUARDED_BY the pool mutex).
  *
  * Jobs must not themselves call parallelFor on the same pool (no
  * nested parallelism); the sorter flattens group x slice work into one
- * task list per stage instead.
+ * task list per stage instead.  Lock discipline: the pool mutex is a
+ * leaf lock — parallelFor and the worker loop never hold it while
+ * running user tasks (see docs/ARCHITECTURE.md).
  */
 
 #ifndef BONSAI_COMMON_THREAD_POOL_HPP
 #define BONSAI_COMMON_THREAD_POOL_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/contract.hpp"
+#include "common/sync.hpp"
 
 namespace bonsai
 {
@@ -77,10 +80,10 @@ class ThreadPool
     ~ThreadPool()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            ScopedLock lock(mutex_);
             stop_ = true;
         }
-        wake_.notify_all();
+        wake_.notifyAll();
         for (std::thread &worker : workers_)
             worker.join();
     }
@@ -99,6 +102,7 @@ class ThreadPool
     void
     parallelFor(std::uint64_t count,
                 const std::function<void(std::uint64_t)> &fn)
+        BONSAI_EXCLUDES(mutex_)
     {
         if (count == 0)
             return;
@@ -108,24 +112,27 @@ class ThreadPool
             return;
         }
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            ScopedLock lock(mutex_);
             fn_ = &fn;
             count_ = count;
             next_.store(0, std::memory_order_relaxed);
             pending_ = count;
             ++generation_;
         }
-        wake_.notify_all();
+        wake_.notifyAll();
         runTasks(fn, count);
-        std::unique_lock<std::mutex> lock(mutex_);
-        // Wait for all indices to finish AND all workers to leave
-        // runTasks.  pending_ == 0 alone is not enough: a worker that
-        // read this job but was preempted before its first claim
-        // would otherwise survive into the next job's index space,
-        // running this (by then dangling) fn against the next job's
-        // indices.
-        done_.wait(lock, [this] { return pending_ == 0 && active_ == 0; });
-        fn_ = nullptr; // job retired; workers are back to waiting
+        {
+            ScopedLock lock(mutex_);
+            // Wait for all indices to finish AND all workers to leave
+            // runTasks.  pending_ == 0 alone is not enough: a worker
+            // that read this job but was preempted before its first
+            // claim would otherwise survive into the next job's index
+            // space, running this (by then dangling) fn against the
+            // next job's indices.
+            while (pending_ != 0 || active_ != 0)
+                done_.wait(mutex_);
+            fn_ = nullptr; // job retired; workers are back to waiting
+        }
         BONSAI_ENSURE(next_.load(std::memory_order_relaxed) >= count,
                       "every task index must have been claimed");
     }
@@ -134,7 +141,7 @@ class ThreadPool
     /** Steal and run task indices until the index space is empty. */
     void
     runTasks(const std::function<void(std::uint64_t)> &fn,
-             std::uint64_t count)
+             std::uint64_t count) BONSAI_EXCLUDES(mutex_)
     {
         std::uint64_t finished = 0;
         for (;;) {
@@ -147,24 +154,23 @@ class ThreadPool
         }
         if (finished == 0)
             return;
-        std::lock_guard<std::mutex> lock(mutex_);
+        ScopedLock lock(mutex_);
         pending_ -= finished;
         if (pending_ == 0 && active_ == 0)
-            done_.notify_all();
+            done_.notifyAll();
     }
 
     void
-    workerLoop()
+    workerLoop() BONSAI_EXCLUDES(mutex_)
     {
         std::uint64_t seen = 0;
         for (;;) {
             const std::function<void(std::uint64_t)> *fn = nullptr;
             std::uint64_t count = 0;
             {
-                std::unique_lock<std::mutex> lock(mutex_);
-                wake_.wait(lock, [&] {
-                    return stop_ || (generation_ != seen && fn_);
-                });
+                ScopedLock lock(mutex_);
+                while (!stop_ && !(generation_ != seen && fn_))
+                    wake_.wait(mutex_);
                 if (stop_)
                     return;
                 seen = generation_;
@@ -174,10 +180,10 @@ class ThreadPool
             }
             runTasks(*fn, count);
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                ScopedLock lock(mutex_);
                 --active_;
                 if (pending_ == 0 && active_ == 0)
-                    done_.notify_all();
+                    done_.notifyAll();
             }
         }
     }
@@ -185,16 +191,18 @@ class ThreadPool
     const unsigned width_;
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
-    std::condition_variable wake_; ///< job published / shutdown
-    std::condition_variable done_; ///< all tasks of the job finished
-    const std::function<void(std::uint64_t)> *fn_ = nullptr;
-    std::uint64_t count_ = 0;
-    std::uint64_t pending_ = 0;
-    std::uint64_t active_ = 0; ///< workers currently inside runTasks
-    std::uint64_t generation_ = 0;
+    Mutex mutex_;
+    CondVar wake_; ///< job published / shutdown
+    CondVar done_; ///< all tasks of the job finished
+    const std::function<void(std::uint64_t)> *fn_
+        BONSAI_GUARDED_BY(mutex_) = nullptr;
+    std::uint64_t count_ BONSAI_GUARDED_BY(mutex_) = 0;
+    std::uint64_t pending_ BONSAI_GUARDED_BY(mutex_) = 0;
+    /** Workers currently inside runTasks. */
+    std::uint64_t active_ BONSAI_GUARDED_BY(mutex_) = 0;
+    std::uint64_t generation_ BONSAI_GUARDED_BY(mutex_) = 0;
     std::atomic<std::uint64_t> next_{0}; ///< shared task index space
-    bool stop_ = false;
+    bool stop_ BONSAI_GUARDED_BY(mutex_) = false;
 };
 
 /**
@@ -210,6 +218,10 @@ class ThreadPool
  * but any completion signal the task was supposed to raise is lost —
  * closures that gate a waiter must catch and forward errors through
  * the gate instead.
+ *
+ * Shutdown contract: the destructor runs every task still queued
+ * before joining (tasks are never dropped), then discards any trapped
+ * error; call drain() first when errors must surface.
  */
 class BackgroundWorker
 {
@@ -219,10 +231,10 @@ class BackgroundWorker
     ~BackgroundWorker()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            ScopedLock lock(mutex_);
             stop_ = true;
         }
-        wake_.notify_all();
+        wake_.notifyAll();
         thread_.join();
     }
 
@@ -231,37 +243,41 @@ class BackgroundWorker
 
     /** Enqueue @p task; runs after everything posted before it. */
     void
-    post(std::function<void()> task)
+    post(std::function<void()> task) BONSAI_EXCLUDES(mutex_)
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            ScopedLock lock(mutex_);
             BONSAI_REQUIRE(!stop_, "post to a stopped BackgroundWorker");
             queue_.push_back(std::move(task));
         }
-        wake_.notify_all();
+        wake_.notifyAll();
     }
 
     /** Block until the queue is empty and the worker is idle, then
      *  rethrow the first exception any task leaked (if any). */
     void
-    drain()
+    drain() BONSAI_EXCLUDES(mutex_)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        idle_.wait(lock, [this] { return queue_.empty() && !busy_; });
-        if (error_) {
-            std::exception_ptr err = error_;
+        std::exception_ptr err;
+        {
+            ScopedLock lock(mutex_);
+            while (!queue_.empty() || busy_)
+                idle_.wait(mutex_);
+            err = error_;
             error_ = nullptr;
-            std::rethrow_exception(err);
         }
+        if (err)
+            std::rethrow_exception(err);
     }
 
   private:
     void
-    loop()
+    loop() BONSAI_EXCLUDES(mutex_)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        ScopedLock lock(mutex_);
         for (;;) {
-            wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            while (!stop_ && queue_.empty())
+                wake_.wait(mutex_);
             if (queue_.empty()) // stop_ and nothing left to run
                 return;
             std::function<void()> task = std::move(queue_.front());
@@ -279,17 +295,17 @@ class BackgroundWorker
             lock.lock();
             busy_ = false;
             if (queue_.empty())
-                idle_.notify_all();
+                idle_.notifyAll();
         }
     }
 
-    std::mutex mutex_;
-    std::condition_variable wake_; ///< task posted / shutdown
-    std::condition_variable idle_; ///< queue empty and worker idle
-    std::deque<std::function<void()>> queue_;
-    std::exception_ptr error_;
-    bool busy_ = false;
-    bool stop_ = false;
+    Mutex mutex_;
+    CondVar wake_; ///< task posted / shutdown
+    CondVar idle_; ///< queue empty and worker idle
+    std::deque<std::function<void()>> queue_ BONSAI_GUARDED_BY(mutex_);
+    std::exception_ptr error_ BONSAI_GUARDED_BY(mutex_);
+    bool busy_ BONSAI_GUARDED_BY(mutex_) = false;
+    bool stop_ BONSAI_GUARDED_BY(mutex_) = false;
     std::thread thread_; ///< last member: starts after state is ready
 };
 

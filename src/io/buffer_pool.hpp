@@ -20,20 +20,25 @@
  * arm() before posting, open()/fail() from the task, wait() on the
  * consuming side returns the seconds it blocked — the stall telemetry
  * the stream reports.
+ *
+ * Both types are leaf locks in the common/sync.hpp capability scheme:
+ * every entry point is BONSAI_EXCLUDES its own mutex and no critical
+ * section acquires another lock, so the -Wthread-safety build proves
+ * the locking discipline structurally (guarded members, no re-entry).
  */
 
 #ifndef BONSAI_IO_BUFFER_POOL_HPP
 #define BONSAI_IO_BUFFER_POOL_HPP
 
+#include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/contract.hpp"
+#include "common/sync.hpp"
 
 namespace bonsai::io
 {
@@ -44,9 +49,9 @@ class TaskGate
   public:
     /** Mark a task as in flight (call before posting it). */
     void
-    arm()
+    arm() BONSAI_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        ScopedLock lock(mutex_);
         BONSAI_REQUIRE(open_, "arming a gate with a task in flight");
         open_ = false;
     }
@@ -56,47 +61,52 @@ class TaskGate
      *  the notifying thread must be unable to touch the gate after
      *  the waiter can observe open_. */
     void
-    open()
+    open() BONSAI_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        ScopedLock lock(mutex_);
         open_ = true;
-        cv_.notify_all();
+        cv_.notifyAll();
     }
 
     /** Task failed; wait() rethrows @p err. */
     void
-    fail(std::exception_ptr err)
+    fail(std::exception_ptr err) BONSAI_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        ScopedLock lock(mutex_);
         error_ = err;
         open_ = true;
-        cv_.notify_all();
+        cv_.notifyAll();
     }
 
     /** Block until the in-flight task (if any) completed; returns the
-     *  seconds spent blocked and rethrows the task's error, if any. */
+     *  seconds spent blocked and rethrows the task's error, if any.
+     *  Safe to call again at any time: an open gate returns (or
+     *  rethrows a still-unconsumed error) immediately. */
     double
-    wait()
+    wait() BONSAI_EXCLUDES(mutex_)
     {
         const auto start = std::chrono::steady_clock::now();
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [this] { return open_; });
-        if (error_) {
-            std::exception_ptr err = error_;
+        std::exception_ptr err;
+        {
+            ScopedLock lock(mutex_);
+            while (!open_)
+                cv_.wait(mutex_);
+            err = error_;
             error_ = nullptr;
-            lock.unlock();
-            std::rethrow_exception(err);
         }
+        if (err)
+            std::rethrow_exception(err);
         return std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - start)
             .count();
     }
 
   private:
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::exception_ptr error_;
-    bool open_ = true; ///< nothing in flight initially
+    Mutex mutex_;
+    CondVar cv_;
+    std::exception_ptr error_ BONSAI_GUARDED_BY(mutex_);
+    /** Nothing in flight initially. */
+    bool open_ BONSAI_GUARDED_BY(mutex_) = true;
 };
 
 /** Bounded pool of batch-sized record buffers. */
@@ -151,12 +161,11 @@ class BufferPool
      * phase-2 group concurrency from it), or acquire() deadlocks.
      */
     std::vector<RecordT>
-    acquire()
+    acquire() BONSAI_EXCLUDES(mutex_)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        available_.wait(lock, [this] {
-            return !free_.empty() || allocated_ < count_;
-        });
+        ScopedLock lock(mutex_);
+        while (free_.empty() && allocated_ >= count_)
+            available_.wait(mutex_);
         ++outstanding_;
         peak_ = std::max(peak_, outstanding_);
         if (!free_.empty()) {
@@ -171,23 +180,23 @@ class BufferPool
 
     /** Return a buffer taken with acquire(). */
     void
-    release(std::vector<RecordT> buf)
+    release(std::vector<RecordT> buf) BONSAI_EXCLUDES(mutex_)
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            ScopedLock lock(mutex_);
             BONSAI_REQUIRE(outstanding_ > 0,
                            "release without a matching acquire");
             --outstanding_;
             free_.push_back(std::move(buf));
         }
-        available_.notify_one();
+        available_.notifyOne();
     }
 
     /** Buffers currently held by callers. */
     std::uint64_t
-    outstanding() const
+    outstanding() const BONSAI_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        ScopedLock lock(mutex_);
         return outstanding_;
     }
 
@@ -198,9 +207,9 @@ class BufferPool
      * admitted more lanes than the pool can feed.
      */
     std::uint64_t
-    peakOutstanding() const
+    peakOutstanding() const BONSAI_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        ScopedLock lock(mutex_);
         return peak_;
     }
 
@@ -208,12 +217,12 @@ class BufferPool
     std::uint64_t batch_;
     std::uint64_t count_ = 0;
 
-    mutable std::mutex mutex_;
-    std::condition_variable available_;
-    std::vector<std::vector<RecordT>> free_;
-    std::uint64_t allocated_ = 0;
-    std::uint64_t outstanding_ = 0;
-    std::uint64_t peak_ = 0;
+    mutable Mutex mutex_;
+    CondVar available_;
+    std::vector<std::vector<RecordT>> free_ BONSAI_GUARDED_BY(mutex_);
+    std::uint64_t allocated_ BONSAI_GUARDED_BY(mutex_) = 0;
+    std::uint64_t outstanding_ BONSAI_GUARDED_BY(mutex_) = 0;
+    std::uint64_t peak_ BONSAI_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace bonsai::io

@@ -50,6 +50,9 @@ ByteFile::createTemp(const std::string &dir)
 {
     std::string base = dir;
     if (base.empty()) {
+        // getenv is only mt-unsafe against a concurrent setenv; the
+        // sorter never writes the environment, so reads cannot race.
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env access
         const char *env = std::getenv("TMPDIR");
         base = env && *env ? env : "/tmp";
     }

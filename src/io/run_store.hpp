@@ -21,6 +21,18 @@
  *
  * Byte counters tally actual store traffic (spill bytes), reported
  * through the facades' unified telemetry.
+ *
+ * Concurrency contract (the lock-free corner of the common/sync.hpp
+ * scheme): stores hold no mutex at all.  FileRunStore is safe for
+ * concurrent readAt/writeAt on disjoint ranges because pread/pwrite
+ * are positioned syscalls sharing no file cursor, MemoryRunStore
+ * because disjoint memcpy ranges don't alias; the traffic counters
+ * are relaxed atomics (telemetry, not synchronization).  Run
+ * *metadata* (runs()/setRuns) is single-writer: only the merge
+ * coordinator touches it, never the lane workers — so it needs no
+ * guard and carries none.  Anything here that ever grows a mutex
+ * must move onto bonsai::Mutex with BONSAI_GUARDED_BY annotations
+ * (scripts/check_style.py enforces both halves of that rule).
  */
 
 #ifndef BONSAI_IO_RUN_STORE_HPP

@@ -58,11 +58,9 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -70,6 +68,7 @@
 
 #include "common/contract.hpp"
 #include "common/run.hpp"
+#include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "io/buffer_pool.hpp"
 #include "io/run_store.hpp"
@@ -151,7 +150,7 @@ class RunCursor
         // dropped — nobody will consume the data it failed to read.
         try {
             gate_.wait();
-        } catch (...) { // NOLINT(bugprone-empty-catch)
+        } catch (...) { // NOLINT(bugprone-empty-catch): error has no consumer
         }
         pool_->release(std::move(cur_));
         pool_->release(std::move(pre_));
@@ -246,7 +245,7 @@ class StreamWriter
     {
         try {
             gate_.wait();
-        } catch (...) { // NOLINT(bugprone-empty-catch)
+        } catch (...) { // NOLINT(bugprone-empty-catch): finish() reports
         }
         pool_->release(std::move(cur_));
         pool_->release(std::move(flight_));
@@ -563,7 +562,9 @@ class StreamEngine
     /** Free-lane allocator: group tasks lease a lane for the duration
      *  of one merge, bounding concurrent pool holdings to
      *  lanes * (2 ell + 2) buffers no matter how wide the thread pool
-     *  is. */
+     *  is.  A leaf lock like every other in the tree (see
+     *  common/sync.hpp): the lease mutex is never held while merging
+     *  — only around the free-list push/pop. */
     class LaneLeases
     {
       public:
@@ -575,29 +576,30 @@ class StreamEngine
         }
 
         unsigned
-        acquire()
+        acquire() BONSAI_EXCLUDES(mutex_)
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            ready_.wait(lock, [this] { return !free_.empty(); });
+            ScopedLock lock(mutex_);
+            while (free_.empty())
+                ready_.wait(mutex_);
             const unsigned lane = free_.back();
             free_.pop_back();
             return lane;
         }
 
         void
-        release(unsigned lane)
+        release(unsigned lane) BONSAI_EXCLUDES(mutex_)
         {
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                ScopedLock lock(mutex_);
                 free_.push_back(lane);
             }
-            ready_.notify_one();
+            ready_.notifyOne();
         }
 
       private:
-        std::mutex mutex_;
-        std::condition_variable ready_;
-        std::vector<unsigned> free_;
+        Mutex mutex_;
+        CondVar ready_;
+        std::vector<unsigned> free_ BONSAI_GUARDED_BY(mutex_);
     };
 
     std::uint64_t
@@ -690,7 +692,7 @@ class StreamEngine
             for (io::TaskGate &g : gate) {
                 try {
                     g.wait();
-                } catch (...) { // NOLINT(bugprone-empty-catch)
+                } catch (...) { // NOLINT(bugprone-empty-catch): quiesce only
                 }
             }
             throw;
@@ -830,8 +832,7 @@ class StreamEngine
             // kills a pool worker), so trap the first error and
             // rethrow it after the join.
             LaneLeases leases(static_cast<unsigned>(width));
-            std::mutex err_mutex;
-            std::exception_ptr first_err;
+            ErrorTrap errors;
             pool.parallelFor(work.size(), [&](std::uint64_t i) {
                 const unsigned lane = leases.acquire();
                 try {
@@ -839,14 +840,11 @@ class StreamEngine
                                                work[i], dst, bufs,
                                                *lanes[lane]);
                 } catch (...) {
-                    std::lock_guard<std::mutex> lock(err_mutex);
-                    if (!first_err)
-                        first_err = std::current_exception();
+                    errors.store(std::current_exception());
                 }
                 leases.release(lane);
             });
-            if (first_err)
-                std::rethrow_exception(first_err);
+            errors.rethrowIfSet();
         }
         for (const GroupTally &t : tallies)
             foldTally(t, stats);
@@ -921,8 +919,7 @@ class StreamEngine
         sink.beginSegments(total);
         stats.finalSlices = static_cast<unsigned>(slices);
         std::vector<GroupTally> tallies(slices);
-        std::mutex err_mutex;
-        std::exception_ptr first_err;
+        ErrorTrap errors;
         pool.parallelFor(slices, [&](std::uint64_t t) {
             try {
                 // Keep every member — empty sub-spans included — in
@@ -939,13 +936,10 @@ class StreamEngine
                                         lanes[t]->reader,
                                         lanes[t]->writer);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(err_mutex);
-                if (!first_err)
-                    first_err = std::current_exception();
+                errors.store(std::current_exception());
             }
         });
-        if (first_err)
-            std::rethrow_exception(first_err);
+        errors.rethrowIfSet();
         for (const GroupTally &t : tallies)
             foldTally(t, stats);
     }
@@ -1112,7 +1106,7 @@ class StreamEngine
             for (io::TaskGate &g : gate) {
                 try {
                     g.wait();
-                } catch (...) { // NOLINT(bugprone-empty-catch)
+                } catch (...) { // NOLINT(bugprone-empty-catch): quiesce only
                 }
             }
             bufs.release(std::move(buf[0]));

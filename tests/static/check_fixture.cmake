@@ -1,0 +1,64 @@
+# Negative-compilation harness for the thread-safety fixtures.
+#
+# Runs the Clang frontend over one fixture with the thread-safety
+# analysis promoted to errors and asserts the outcome:
+#
+#   EXPECT=CLEAN         the fixture must compile with no diagnostics
+#                        (positive control — proves the harness flags
+#                        actually enable the analysis);
+#   EXPECT=<substring>   the compile must FAIL and stderr must contain
+#                        the substring (pins the *specific* diagnostic,
+#                        so a fixture failing for an unrelated reason —
+#                        a typo, a missing include — still fails the
+#                        test instead of passing vacuously).
+#
+# Invoked by ctest via
+#   cmake -DCOMPILER=... -DFIXTURE=... -DSRC_DIR=... -DEXPECT=...
+#         -P check_fixture.cmake
+#
+# Only the thread-safety groups are promoted to errors
+# (-Werror=thread-safety*): a blanket -Werror would let an unrelated
+# warning from a future Clang masquerade as the expected failure.
+
+foreach(var COMPILER FIXTURE SRC_DIR EXPECT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "check_fixture.cmake: ${var} not set")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${COMPILER} -std=c++20 -fsyntax-only "-I${SRC_DIR}"
+            -Wthread-safety -Wthread-safety-beta
+            -Werror=thread-safety -Werror=thread-safety-beta
+            -Werror=thread-safety-analysis ${FIXTURE}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "CLEAN")
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "expected ${FIXTURE} to compile cleanly, got exit ${rc}:\n"
+            "${err}")
+    endif()
+    if(NOT err STREQUAL "")
+        message(FATAL_ERROR
+            "expected no diagnostics from ${FIXTURE}, got:\n${err}")
+    endif()
+    message(STATUS "clean fixture accepted: ${FIXTURE}")
+else()
+    if(rc EQUAL 0)
+        message(FATAL_ERROR
+            "expected ${FIXTURE} to FAIL to compile, but it built — "
+            "the thread-safety analysis did not catch the bug")
+    endif()
+    string(FIND "${err}" "${EXPECT}" found)
+    if(found EQUAL -1)
+        message(FATAL_ERROR
+            "${FIXTURE} failed to compile, but for the wrong reason.\n"
+            "expected diagnostic containing: ${EXPECT}\n"
+            "actual stderr:\n${err}")
+    endif()
+    message(STATUS
+        "negative fixture rejected as expected: ${FIXTURE}")
+endif()

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Negative fixture: acquiring a mutex the caller already holds (the
+ * self-deadlock every BONSAI_EXCLUDES annotation exists to prevent —
+ * e.g. a BufferPool method calling another locking method of the same
+ * pool from inside its critical section).  Must FAIL to compile under
+ * -Wthread-safety -Werror with
+ *     "acquiring mutex 'mu_' that is already held"
+ * (the harness asserts that substring).
+ */
+
+#include "common/sync.hpp"
+
+namespace
+{
+
+class Gate
+{
+  public:
+    void
+    doubleAcquire() BONSAI_EXCLUDES(mu_)
+    {
+        mu_.lock();
+        mu_.lock(); // BAD: self-deadlock.
+        open_ = true;
+        mu_.unlock();
+        mu_.unlock();
+    }
+
+  private:
+    bonsai::Mutex mu_;
+    bool open_ BONSAI_GUARDED_BY(mu_) = false;
+};
+
+} // namespace
+
+int
+main()
+{
+    Gate g;
+    g.doubleAcquire();
+    return 0;
+}

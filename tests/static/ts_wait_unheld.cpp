@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Negative fixture: waiting on a CondVar without holding the mutex it
+ * is bound to — the classic lost-wakeup bug (the waiter misses the
+ * notify that lands between its predicate check and its sleep).
+ * CondVar::wait carries BONSAI_REQUIRES(mutex), so this must FAIL to
+ * compile under -Wthread-safety -Werror with
+ *     "requires holding mutex 'mu_'"
+ * (the harness asserts that substring).
+ */
+
+#include "common/sync.hpp"
+
+namespace
+{
+
+class Waiter
+{
+  public:
+    void
+    waitWithoutLock() BONSAI_EXCLUDES(mu_)
+    {
+        cv_.wait(mu_); // BAD: mu_ is not held.
+    }
+
+  private:
+    bonsai::Mutex mu_;
+    bonsai::CondVar cv_;
+    bool ready_ BONSAI_GUARDED_BY(mu_) = false;
+};
+
+} // namespace
+
+int
+main()
+{
+    Waiter w;
+    w.waitWithoutLock();
+    return 0;
+}

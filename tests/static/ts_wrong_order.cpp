@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Negative fixture: violating a declared BONSAI_ACQUIRED_BEFORE lock
+ * order.  The fixture mirrors the documented resource hierarchy
+ * (thread pool before task gate, docs/ARCHITECTURE.md): pool_mu_
+ * declares it is acquired before gate_mu_, and the method below locks
+ * them in the opposite order.  Must FAIL to compile under
+ * -Wthread-safety-beta -Werror (lock-order edges are a -beta check)
+ * with
+ *     "must be acquired"
+ * in the diagnostic (the harness asserts that substring).
+ *
+ * Production code never holds two bonsai locks at once (every entry
+ * point is BONSAI_EXCLUDES its own leaf lock), so no real class can
+ * express this bug — this fixture pins that the analyzer would catch
+ * it if one ever did.
+ */
+
+#include "common/sync.hpp"
+
+namespace
+{
+
+class Ordered
+{
+  public:
+    void
+    wrongOrder() BONSAI_EXCLUDES(pool_mu_, gate_mu_)
+    {
+        gate_mu_.lock();
+        pool_mu_.lock(); // BAD: pool_mu_ must come first.
+        ++pool_state_;
+        ++gate_state_;
+        pool_mu_.unlock();
+        gate_mu_.unlock();
+    }
+
+  private:
+    bonsai::Mutex pool_mu_ BONSAI_ACQUIRED_BEFORE(gate_mu_);
+    bonsai::Mutex gate_mu_;
+    long pool_state_ BONSAI_GUARDED_BY(pool_mu_) = 0;
+    long gate_state_ BONSAI_GUARDED_BY(gate_mu_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Ordered o;
+    o.wrongOrder();
+    return 0;
+}
