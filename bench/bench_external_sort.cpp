@@ -90,6 +90,14 @@ BM_StreamedVsInMemory(benchmark::State &state)
         static_cast<double>(last.mergePasses);
     state.counters["read_stall_ms"] = last.readStallSeconds * 1e3;
     state.counters["write_stall_ms"] = last.writeStallSeconds * 1e3;
+    // Retry telemetry: nonzero on a healthy device means the spill
+    // path is absorbing real transient faults (and paying backoff).
+    state.counters["io_transient_retries"] =
+        static_cast<double>(last.ioTransientRetries);
+    state.counters["io_eintr_retries"] =
+        static_cast<double>(last.ioEintrRetries);
+    state.counters["io_short_transfers"] =
+        static_cast<double>(last.ioShortTransfers);
 }
 
 void

@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <unordered_map>
 
@@ -163,6 +164,18 @@ cmdExtSort(const char *in_path, const char *out_path, unsigned threads,
                 static_cast<double>(s.spillBytesWritten) / (1 << 20),
                 static_cast<double>(s.spillBytesRead) / (1 << 20),
                 s.readStallSeconds * 1e3, s.writeStallSeconds * 1e3);
+    if (s.ioTransientRetries + s.ioEintrRetries + s.ioShortTransfers +
+            s.secondaryErrors >
+        0)
+        std::printf("io resilience: %llu transient retr%s, %llu EINTR "
+                    "retr%s, %llu short transfer(s), %llu secondary "
+                    "error(s)\n",
+                    static_cast<unsigned long long>(s.ioTransientRetries),
+                    s.ioTransientRetries == 1 ? "y" : "ies",
+                    static_cast<unsigned long long>(s.ioEintrRetries),
+                    s.ioEintrRetries == 1 ? "y" : "ies",
+                    static_cast<unsigned long long>(s.ioShortTransfers),
+                    static_cast<unsigned long long>(s.secondaryErrors));
     std::printf("wrote %s\n", out_path);
     return 0;
 }
@@ -188,10 +201,8 @@ cmdValidate(const char *path)
     return 1;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     // Strip the optional "--threads N" / "--budget-mb N" pairs from
     // anywhere in argv.
@@ -236,4 +247,20 @@ main(int argc, char **argv)
     cmdGen(100'000, "/tmp/bonsai_demo.dat");
     cmdSort("/tmp/bonsai_demo.dat", "/tmp/bonsai_demo.sorted", threads);
     return cmdValidate("/tmp/bonsai_demo.sorted");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // I/O failures (a full spill device, an unreadable input, an
+    // unwritable output) surface as one exception from the sort call;
+    // report it like a tool, not a crash.
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "file_sorter: %s\n", e.what());
+        return 1;
+    }
 }

@@ -40,6 +40,7 @@
 #define BONSAI_COMMON_SYNC_HPP
 
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 
@@ -226,6 +227,13 @@ class CondVar
  * tasks must not throw (a leaked exception kills a pool worker), so
  * concurrent tasks trap the first failure here and the submitting
  * thread rethrows it after the join.
+ *
+ * The latch distinguishes *primary* failures (the task that broke)
+ * from *secondary* ones observed while unwinding — a quiesce wait in
+ * a destructor, a cleanup release that itself failed.  First error
+ * wins: exactly one exception comes out of rethrowIfSet; everything
+ * suppressed behind it is counted for telemetry instead of being
+ * silently dropped.
  */
 class ErrorTrap
 {
@@ -235,8 +243,32 @@ class ErrorTrap
     store(std::exception_ptr err) BONSAI_EXCLUDES(mutex_)
     {
         ScopedLock lock(mutex_);
-        if (!error_)
-            error_ = err;
+        if (error_ && primary_) {
+            ++secondary_; // an earlier failure won; count this one
+            return;
+        }
+        if (error_)
+            ++secondary_; // demote the held cleanup error
+        error_ = err;
+        primary_ = true;
+    }
+
+    /**
+     * Record an error observed during cleanup/unwind.  Never displaces
+     * a primary failure: if nothing failed yet the error is held (a
+     * cleanup failure on an otherwise clean path still fails the
+     * operation), otherwise it is only counted.
+     */
+    void
+    storeSecondary(std::exception_ptr err) BONSAI_EXCLUDES(mutex_)
+    {
+        ScopedLock lock(mutex_);
+        if (error_) {
+            ++secondary_;
+            return;
+        }
+        error_ = err;
+        primary_ = false;
     }
 
     /** Rethrow the trapped error, if any (consuming it). */
@@ -248,14 +280,25 @@ class ErrorTrap
             ScopedLock lock(mutex_);
             err = error_;
             error_ = nullptr;
+            primary_ = false;
         }
         if (err)
             std::rethrow_exception(err);
     }
 
+    /** Errors suppressed behind the winning one (telemetry). */
+    std::uint64_t
+    secondaryCount() const BONSAI_EXCLUDES(mutex_)
+    {
+        ScopedLock lock(mutex_);
+        return secondary_;
+    }
+
   private:
-    Mutex mutex_;
+    mutable Mutex mutex_;
     std::exception_ptr error_ BONSAI_GUARDED_BY(mutex_);
+    bool primary_ BONSAI_GUARDED_BY(mutex_) = false;
+    std::uint64_t secondary_ BONSAI_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace bonsai

@@ -1,5 +1,6 @@
 #include "io/byte_io.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
@@ -8,6 +9,7 @@
 
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <time.h>
 #include <unistd.h>
 
 namespace bonsai::io
@@ -16,12 +18,102 @@ namespace bonsai::io
 namespace
 {
 
+std::string
+errnoMessage(int err)
+{
+    return std::error_code(err, std::generic_category()).message();
+}
+
 [[noreturn]] void
 throwErrno(const std::string &what, const std::string &path)
 {
-    throw std::runtime_error(
-        "bonsai io: " + what + " (" + path + "): " +
-        std::error_code(errno, std::generic_category()).message());
+    throw std::runtime_error("bonsai io: " + what + " (" + path +
+                             "): " + errnoMessage(errno));
+}
+
+/**
+ * Transfer-level error with everything a post-mortem needs: which
+ * file, the offset the transfer stalled at, how much of the request
+ * was still outstanding, and the caller-supplied context naming the
+ * run/chunk that was streaming.  @p err == 0 suppresses the errno
+ * suffix (used for EOF, which is not a syscall failure).
+ */
+[[noreturn]] void
+throwIoError(const char *what, const std::string &path,
+             std::uint64_t offset, std::uint64_t remaining,
+             std::uint64_t total, const char *context, int err)
+{
+    std::string msg = "bonsai io: ";
+    msg += what;
+    msg += " (";
+    msg += path.empty() ? "unlinked spill" : path;
+    msg += ", offset ";
+    msg += std::to_string(offset);
+    if (total > 0) {
+        msg += ", ";
+        msg += std::to_string(remaining);
+        msg += " of ";
+        msg += std::to_string(total);
+        msg += " bytes outstanding";
+    }
+    if (context != nullptr && *context != '\0') {
+        msg += ", while ";
+        msg += context;
+    }
+    msg += ")";
+    if (err != 0) {
+        msg += ": ";
+        msg += errnoMessage(err);
+    }
+    throw std::runtime_error(msg);
+}
+
+/**
+ * The transient set is retried with backoff: EIO covers media hiccups
+ * that heal on retry, EAGAIN covers descriptors that momentarily
+ * cannot accept the transfer.  ENOSPC, EBADF etc. are permanent and
+ * fail the transfer immediately.
+ */
+bool
+transientErrno(int err)
+{
+    if (err == EIO || err == EAGAIN)
+        return true;
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    if (err == EWOULDBLOCK)
+        return true;
+#endif
+    return false;
+}
+
+/** Exponential backoff: base << (failures-1), capped at 100 ms. */
+void
+backoffSleep(unsigned failures, unsigned baseMicros)
+{
+    constexpr std::uint64_t kMaxBackoffMicros = 100'000;
+    const unsigned shift = std::min(failures - 1, 16u);
+    const std::uint64_t micros = std::min<std::uint64_t>(
+        std::uint64_t{baseMicros} << shift, kMaxBackoffMicros);
+    timespec ts = {};
+    ts.tv_sec = static_cast<time_t>(micros / 1'000'000);
+    ts.tv_nsec = static_cast<long>((micros % 1'000'000) * 1000);
+    while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+    }
+}
+
+std::string
+stripTrailingSlashes(std::string dir)
+{
+    while (dir.size() > 1 && dir.back() == '/')
+        dir.pop_back();
+    return dir;
+}
+
+int
+tryMkstemp(const std::string &dir, std::string &tmpl)
+{
+    tmpl = dir + "/bonsai-spill-XXXXXX";
+    return ::mkstemp(tmpl.data());
 }
 
 } // namespace
@@ -48,18 +140,35 @@ ByteFile::create(const std::string &path)
 ByteFile
 ByteFile::createTemp(const std::string &dir)
 {
-    std::string base = dir;
+    std::string base = stripTrailingSlashes(dir);
+    bool fromEnv = false;
     if (base.empty()) {
         // getenv is only mt-unsafe against a concurrent setenv; the
         // sorter never writes the environment, so reads cannot race.
         // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env access
         const char *env = std::getenv("TMPDIR");
-        base = env && *env ? env : "/tmp";
+        base = env && *env ? stripTrailingSlashes(env) : "/tmp";
+        fromEnv = true;
     }
-    std::string tmpl = base + "/bonsai-spill-XXXXXX";
-    const int fd = ::mkstemp(tmpl.data());
+    std::string tmpl;
+    int fd = tryMkstemp(base, tmpl);
+    if (fd < 0 && fromEnv && base != "/tmp") {
+        // $TMPDIR is advisory: degrade to /tmp rather than failing
+        // the sort because the environment points somewhere stale.
+        const int firstErr = errno;
+        fd = tryMkstemp("/tmp", tmpl);
+        if (fd < 0)
+            throw std::runtime_error(
+                "bonsai io: cannot create a spill file in $TMPDIR (" +
+                base + ": " + errnoMessage(firstErr) +
+                ") or /tmp: " + errnoMessage(errno));
+    }
     if (fd < 0)
-        throwErrno("mkstemp failed", tmpl);
+        throw std::runtime_error(
+            "bonsai io: spill directory " + base +
+            " is unusable (mkstemp " + tmpl +
+            "): " + errnoMessage(errno) +
+            "; pass a writable spill directory");
     // Unlink immediately: the kernel frees the blocks with the last
     // descriptor, so spills never outlive the process.
     ::unlink(tmpl.c_str());
@@ -67,7 +176,9 @@ ByteFile::createTemp(const std::string &dir)
 }
 
 ByteFile::ByteFile(ByteFile &&other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_))
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)),
+      policy_(std::move(other.policy_)), retry_(other.retry_),
+      counters_(std::move(other.counters_))
 {
 }
 
@@ -79,6 +190,9 @@ ByteFile::operator=(ByteFile &&other) noexcept
             ::close(fd_);
         fd_ = std::exchange(other.fd_, -1);
         path_ = std::move(other.path_);
+        policy_ = std::move(other.policy_);
+        retry_ = other.retry_;
+        counters_ = std::move(other.counters_);
     }
     return *this;
 }
@@ -89,22 +203,62 @@ ByteFile::~ByteFile()
         ::close(fd_);
 }
 
+FaultAction
+ByteFile::consultPolicy(const FaultOp &op) const
+{
+    if (!policy_)
+        return {};
+    return policy_->onAttempt(op);
+}
+
 void
-ByteFile::readAt(std::uint64_t offset, void *dst,
-                 std::uint64_t count) const
+ByteFile::readAt(std::uint64_t offset, void *dst, std::uint64_t count,
+                 const char *context) const
 {
     char *out = static_cast<char *>(dst);
+    const std::uint64_t total = count;
+    unsigned failures = 0; // consecutive transient failures
+    unsigned eintrRun = 0; // consecutive interruptions
     while (count > 0) {
-        const ssize_t got = ::pread(fd_, out, count,
-                                    static_cast<off_t>(offset));
+        const FaultAction act =
+            consultPolicy({FaultOp::Kind::Read, offset, count});
+        const std::uint64_t ask = std::min(
+            count, std::max<std::uint64_t>(act.maxBytes, 1));
+        ssize_t got = -1;
+        if (act.failWith != 0)
+            errno = act.failWith;
+        else
+            got = ::pread(fd_, out, ask, static_cast<off_t>(offset));
         if (got < 0) {
-            if (errno == EINTR)
+            const int err = errno;
+            if (err == EINTR) {
+                counters_->eintr.fetch_add(1,
+                                           std::memory_order_relaxed);
+                if (++eintrRun > retry_.eintrLimit)
+                    throwIoError("pread interrupted past the EINTR "
+                                 "retry limit",
+                                 path_, offset, count, total, context,
+                                 err);
                 continue;
-            throwErrno("pread failed", path_);
+            }
+            if (transientErrno(err) && failures < retry_.maxAttempts) {
+                ++failures;
+                counters_->transient.fetch_add(
+                    1, std::memory_order_relaxed);
+                backoffSleep(failures, retry_.backoffBaseMicros);
+                continue;
+            }
+            throwIoError("pread failed", path_, offset, count, total,
+                         context, err);
         }
         if (got == 0)
-            throw std::runtime_error(
-                "bonsai io: pread hit end of file (" + path_ + ")");
+            throwIoError("pread hit end of file", path_, offset, count,
+                         total, context, 0);
+        failures = 0;
+        eintrRun = 0;
+        if (static_cast<std::uint64_t>(got) < count)
+            counters_->shortTransfers.fetch_add(
+                1, std::memory_order_relaxed);
         out += got;
         offset += static_cast<std::uint64_t>(got);
         count -= static_cast<std::uint64_t>(got);
@@ -113,21 +267,100 @@ ByteFile::readAt(std::uint64_t offset, void *dst,
 
 void
 ByteFile::writeAt(std::uint64_t offset, const void *src,
-                  std::uint64_t count)
+                  std::uint64_t count, const char *context)
 {
     const char *in = static_cast<const char *>(src);
+    const std::uint64_t total = count;
+    unsigned failures = 0;
+    unsigned eintrRun = 0;
     while (count > 0) {
-        const ssize_t put = ::pwrite(fd_, in, count,
-                                     static_cast<off_t>(offset));
+        const FaultAction act =
+            consultPolicy({FaultOp::Kind::Write, offset, count});
+        const std::uint64_t ask = std::min(
+            count, std::max<std::uint64_t>(act.maxBytes, 1));
+        ssize_t put = -1;
+        if (act.failWith != 0)
+            errno = act.failWith;
+        else
+            put = ::pwrite(fd_, in, ask, static_cast<off_t>(offset));
         if (put < 0) {
-            if (errno == EINTR)
+            const int err = errno;
+            if (err == EINTR) {
+                counters_->eintr.fetch_add(1,
+                                           std::memory_order_relaxed);
+                if (++eintrRun > retry_.eintrLimit)
+                    throwIoError("pwrite interrupted past the EINTR "
+                                 "retry limit",
+                                 path_, offset, count, total, context,
+                                 err);
                 continue;
-            throwErrno("pwrite failed", path_);
+            }
+            if (transientErrno(err) && failures < retry_.maxAttempts) {
+                ++failures;
+                counters_->transient.fetch_add(
+                    1, std::memory_order_relaxed);
+                backoffSleep(failures, retry_.backoffBaseMicros);
+                continue;
+            }
+            throwIoError("pwrite failed", path_, offset, count, total,
+                         context, err);
         }
+        failures = 0;
+        eintrRun = 0;
+        if (static_cast<std::uint64_t>(put) < count)
+            counters_->shortTransfers.fetch_add(
+                1, std::memory_order_relaxed);
         in += put;
         offset += static_cast<std::uint64_t>(put);
         count -= static_cast<std::uint64_t>(put);
     }
+}
+
+void
+ByteFile::sync(const char *context)
+{
+    unsigned failures = 0;
+    unsigned eintrRun = 0;
+    for (;;) {
+        const FaultAction act =
+            consultPolicy({FaultOp::Kind::Sync, 0, 0});
+        int rc = -1;
+        if (act.failWith != 0)
+            errno = act.failWith;
+        else
+            rc = ::fdatasync(fd_);
+        if (rc == 0)
+            return;
+        const int err = errno;
+        if (err == EINTR) {
+            counters_->eintr.fetch_add(1, std::memory_order_relaxed);
+            if (++eintrRun > retry_.eintrLimit)
+                throwIoError(
+                    "fdatasync interrupted past the EINTR retry limit",
+                    path_, 0, 0, 0, context, err);
+            continue;
+        }
+        if (transientErrno(err) && failures < retry_.maxAttempts) {
+            ++failures;
+            counters_->transient.fetch_add(1,
+                                           std::memory_order_relaxed);
+            backoffSleep(failures, retry_.backoffBaseMicros);
+            continue;
+        }
+        throwIoError("fdatasync failed", path_, 0, 0, 0, context, err);
+    }
+}
+
+IoRetryStats
+ByteFile::retryStats() const
+{
+    IoRetryStats out;
+    out.transientRetries =
+        counters_->transient.load(std::memory_order_relaxed);
+    out.eintrRetries = counters_->eintr.load(std::memory_order_relaxed);
+    out.shortTransfers =
+        counters_->shortTransfers.load(std::memory_order_relaxed);
+    return out;
 }
 
 std::uint64_t

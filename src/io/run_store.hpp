@@ -41,6 +41,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -62,14 +63,29 @@ class RunStore
   public:
     virtual ~RunStore() = default;
 
-    /** Write @p count records at record offset @p offset. */
+    /** Write @p count records at record offset @p offset.
+     *  @p context, when given, names what is streaming (run/chunk)
+     *  and is woven into any I/O error raised by the transfer. */
     virtual void writeAt(std::uint64_t offset, const RecordT *src,
-                         std::uint64_t count) = 0;
+                         std::uint64_t count,
+                         const char *context = nullptr) = 0;
 
     /** Read @p count records from record offset @p offset.  Must be
      *  safe to call concurrently with writeAt on disjoint ranges. */
     virtual void readAt(std::uint64_t offset, RecordT *dst,
-                        std::uint64_t count) const = 0;
+                        std::uint64_t count,
+                        const char *context = nullptr) const = 0;
+
+    /** Durability point: flush completed writes to the device so
+     *  write-back errors surface here, not after process exit.
+     *  Memory-backed stores have nothing to flush. */
+    virtual void flush(const char *context = nullptr)
+    {
+        static_cast<void>(context);
+    }
+
+    /** Retry counters of the underlying device (zero for DRAM). */
+    virtual IoRetryStats retryStats() const { return {}; }
 
     /** In-memory stores return their backing buffer so merges can run
      *  zero-copy; storage-backed stores return an empty span. */
@@ -126,7 +142,8 @@ class MemoryRunStore : public RunStore<RecordT>
 
     void
     writeAt(std::uint64_t offset, const RecordT *src,
-            std::uint64_t count) override
+            std::uint64_t count,
+            const char * /*context*/ = nullptr) override
     {
         BONSAI_REQUIRE(offset + count <= backing_.size(),
                        "write beyond the memory store's backing");
@@ -136,8 +153,8 @@ class MemoryRunStore : public RunStore<RecordT>
     }
 
     void
-    readAt(std::uint64_t offset, RecordT *dst,
-           std::uint64_t count) const override
+    readAt(std::uint64_t offset, RecordT *dst, std::uint64_t count,
+           const char * /*context*/ = nullptr) const override
     {
         BONSAI_REQUIRE(offset + count <= backing_.size(),
                        "read beyond the memory store's backing");
@@ -167,20 +184,46 @@ class FileRunStore : public RunStore<RecordT>
 
     void
     writeAt(std::uint64_t offset, const RecordT *src,
-            std::uint64_t count) override
+            std::uint64_t count,
+            const char *context = nullptr) override
     {
         file_.writeAt(offset * sizeof(RecordT), src,
-                      count * sizeof(RecordT));
+                      count * sizeof(RecordT), context);
         this->countWrite(count * sizeof(RecordT));
     }
 
     void
-    readAt(std::uint64_t offset, RecordT *dst,
-           std::uint64_t count) const override
+    readAt(std::uint64_t offset, RecordT *dst, std::uint64_t count,
+           const char *context = nullptr) const override
     {
         file_.readAt(offset * sizeof(RecordT), dst,
-                     count * sizeof(RecordT));
+                     count * sizeof(RecordT), context);
         this->countRead(count * sizeof(RecordT));
+    }
+
+    void
+    flush(const char *context = nullptr) override
+    {
+        file_.sync(context);
+    }
+
+    IoRetryStats retryStats() const override
+    {
+        return file_.retryStats();
+    }
+
+    /** Inject faults into the spill file (tests; nullptr = off). */
+    void
+    setFaultPolicy(std::shared_ptr<FaultPolicy> policy)
+    {
+        file_.setFaultPolicy(std::move(policy));
+    }
+
+    /** Replace the spill file's transient-error retry schedule. */
+    void
+    setRetryPolicy(const RetryPolicy &policy)
+    {
+        file_.setRetryPolicy(policy);
     }
 
   private:
@@ -196,15 +239,18 @@ template <typename RecordT>
 class RunStoreSink : public RecordSink<RecordT>
 {
   public:
-    RunStoreSink(RunStore<RecordT> &store, std::uint64_t base_offset)
-        : store_(&store), pos_(base_offset)
+    /** @param context Optional label woven into I/O errors raised by
+     *  writes through this sink (must outlive the sink). */
+    RunStoreSink(RunStore<RecordT> &store, std::uint64_t base_offset,
+                 const char *context = nullptr)
+        : store_(&store), pos_(base_offset), context_(context)
     {
     }
 
     void
     write(const RecordT *src, std::uint64_t count) override
     {
-        store_->writeAt(pos_, src, count);
+        store_->writeAt(pos_, src, count, context_);
         pos_ += count;
     }
 
@@ -221,13 +267,14 @@ class RunStoreSink : public RecordSink<RecordT>
     writeSegment(std::uint64_t offset, const RecordT *src,
                  std::uint64_t count) override
     {
-        store_->writeAt(base_ + offset, src, count);
+        store_->writeAt(base_ + offset, src, count, context_);
     }
 
   private:
     RunStore<RecordT> *store_;
     std::uint64_t pos_;
     std::uint64_t base_ = 0;
+    const char *context_ = nullptr;
 };
 
 } // namespace bonsai::io

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -252,7 +253,8 @@ class FileSource : public RecordSource<RecordT>
             std::min<std::uint64_t>(max, total_ - pos_);
         if (n > 0)
             file_.readAt(pos_ * sizeof(RecordT), dst,
-                         n * sizeof(RecordT));
+                         n * sizeof(RecordT),
+                         "sequential input scan");
         pos_ += n;
         return n;
     }
@@ -277,7 +279,8 @@ class FileSink : public RecordSink<RecordT>
     write(const RecordT *src, std::uint64_t count) override
     {
         file_.writeAt(pos_ * sizeof(RecordT), src,
-                      count * sizeof(RecordT));
+                      count * sizeof(RecordT),
+                      "sequential output write");
         pos_ += count;
     }
 
@@ -298,10 +301,34 @@ class FileSink : public RecordSink<RecordT>
         // safe, which is what lets final-merge slices drain in
         // parallel.
         file_.writeAt((base_ + offset) * sizeof(RecordT), src,
-                      count * sizeof(RecordT));
+                      count * sizeof(RecordT),
+                      "final-pass segment write");
+    }
+
+    /** Durability point: fdatasync the finished output so write-back
+     *  errors and delayed-allocation ENOSPC fail the sort call rather
+     *  than surfacing after process exit. */
+    void
+    finish() override
+    {
+        file_.sync("finishing output sink");
     }
 
     std::uint64_t recordsWritten() const { return pos_; }
+
+    /** Inject faults into the output file (tests; nullptr = off). */
+    void
+    setFaultPolicy(std::shared_ptr<FaultPolicy> policy)
+    {
+        file_.setFaultPolicy(std::move(policy));
+    }
+
+    /** Replace the output file's transient-error retry schedule. */
+    void
+    setRetryPolicy(const RetryPolicy &policy)
+    {
+        file_.setRetryPolicy(policy);
+    }
 
   private:
     ByteFile file_;

@@ -57,6 +57,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <exception>
@@ -111,6 +112,13 @@ struct StreamStats
      *  phase wall clock. */
     double readStallSeconds = 0.0;  ///< merge blocked on prefetch
     double writeStallSeconds = 0.0; ///< blocked on write-back
+    /** Spill-store I/O hardening counters (front + back stores; the
+     *  output sink's own device is not visible to the engine). */
+    std::uint64_t ioTransientRetries = 0; ///< EIO/EAGAIN retried
+    std::uint64_t ioEintrRetries = 0;     ///< interrupted, retried
+    std::uint64_t ioShortTransfers = 0;   ///< partial, resumed
+    /** Errors suppressed behind the first (propagated) one. */
+    std::uint64_t secondaryErrors = 0;
 
     friend bool operator==(const StreamStats &,
                            const StreamStats &) = default;
@@ -126,18 +134,33 @@ class RunCursor
 {
   public:
     RunCursor(const io::RunStore<RecordT> &store, RunSpan span,
-              io::BufferPool<RecordT> &pool, BackgroundWorker &reader)
-        : store_(&store), pool_(&pool), reader_(&reader),
+              io::BufferPool<RecordT> &pool, BackgroundWorker &reader,
+              ErrorTrap *trap = nullptr)
+        : store_(&store), pool_(&pool), reader_(&reader), trap_(trap),
           batch_(pool.batchRecords()), next_(span.offset),
-          end_(span.offset + span.length), cur_(pool.acquire()),
-          pre_(pool.acquire())
+          end_(span.offset + span.length)
     {
-        curLen_ = std::min<std::uint64_t>(batch_, end_ - next_);
-        if (curLen_ > 0) {
-            store_->readAt(next_, cur_.data(), curLen_);
-            next_ += curLen_;
+        ctx_ = "streaming run @" + std::to_string(span.offset) + "+" +
+               std::to_string(span.length);
+        // Acquire and fill in the body, not the initializer list: a
+        // throwing initial read after list-acquired buffers would skip
+        // the destructor and leak the pool's outstanding count.
+        cur_ = pool.acquire();
+        try {
+            pre_ = pool.acquire();
+            curLen_ = std::min<std::uint64_t>(batch_, end_ - next_);
+            if (curLen_ > 0) {
+                store_->readAt(next_, cur_.data(), curLen_,
+                               ctx_.c_str());
+                next_ += curLen_;
+            }
+            schedulePrefetch();
+        } catch (...) {
+            if (!pre_.empty())
+                pool.release(std::move(pre_));
+            pool.release(std::move(cur_));
+            throw;
         }
-        schedulePrefetch();
     }
 
     RunCursor(const RunCursor &) = delete;
@@ -146,11 +169,15 @@ class RunCursor
     ~RunCursor()
     {
         // An in-flight prefetch still targets pre_; let it land before
-        // the buffers return to the pool.  Its error (if any) is
-        // dropped — nobody will consume the data it failed to read.
+        // the buffers return to the pool.  Nobody will consume the
+        // data a failed prefetch was reading, but a device error must
+        // not vanish either: record it as a secondary error (first
+        // error wins).
         try {
             gate_.wait();
-        } catch (...) { // NOLINT(bugprone-empty-catch): error has no consumer
+        } catch (...) {
+            if (trap_ != nullptr)
+                trap_->storeSecondary(std::current_exception());
         }
         pool_->release(std::move(cur_));
         pool_->release(std::move(pre_));
@@ -195,20 +222,30 @@ class RunCursor
         const std::uint64_t off = next_;
         next_ += preLen_;
         gate_.arm();
-        reader_->post([this, off] {
-            try {
-                store_->readAt(off, pre_.data(), preLen_);
-            } catch (...) {
-                gate_.fail(std::current_exception());
-                return;
-            }
+        try {
+            reader_->post([this, off] {
+                try {
+                    store_->readAt(off, pre_.data(), preLen_,
+                                   ctx_.c_str());
+                } catch (...) {
+                    gate_.fail(std::current_exception());
+                    return;
+                }
+                gate_.open();
+            });
+        } catch (...) {
+            // Nothing made it in flight: reopen the gate so the
+            // destructor's quiesce wait cannot deadlock.
             gate_.open();
-        });
+            throw;
+        }
     }
 
     const io::RunStore<RecordT> *store_;
     io::BufferPool<RecordT> *pool_;
     BackgroundWorker *reader_;
+    ErrorTrap *trap_;
+    std::string ctx_;
     std::uint64_t batch_;
     std::uint64_t next_; ///< next store offset to fetch
     std::uint64_t end_;  ///< one past the run's last record
@@ -231,11 +268,21 @@ class StreamWriter
 {
   public:
     StreamWriter(io::RecordSink<RecordT> &sink,
-                 io::BufferPool<RecordT> &pool, BackgroundWorker &writer)
-        : sink_(&sink), pool_(&pool), worker_(&writer),
-          batch_(pool.batchRecords()), cur_(pool.acquire()),
-          flight_(pool.acquire())
+                 io::BufferPool<RecordT> &pool, BackgroundWorker &writer,
+                 ErrorTrap *trap = nullptr)
+        : sink_(&sink), pool_(&pool), worker_(&writer), trap_(trap),
+          batch_(pool.batchRecords())
     {
+        // Acquire in the body: if the second acquire throws, the
+        // destructor will not run, so the first buffer must be
+        // returned here to keep the pool's accounting balanced.
+        cur_ = pool.acquire();
+        try {
+            flight_ = pool.acquire();
+        } catch (...) {
+            pool.release(std::move(cur_));
+            throw;
+        }
     }
 
     StreamWriter(const StreamWriter &) = delete;
@@ -243,9 +290,13 @@ class StreamWriter
 
     ~StreamWriter()
     {
+        // finish() reports errors on the normal path; a failure seen
+        // only here (unwind) is recorded instead of dropped.
         try {
             gate_.wait();
-        } catch (...) { // NOLINT(bugprone-empty-catch): finish() reports
+        } catch (...) {
+            if (trap_ != nullptr)
+                trap_->storeSecondary(std::current_exception());
         }
         pool_->release(std::move(cur_));
         pool_->release(std::move(flight_));
@@ -281,20 +332,28 @@ class StreamWriter
         flightLen_ = len_;
         len_ = 0;
         gate_.arm();
-        worker_->post([this] {
-            try {
-                sink_->write(flight_.data(), flightLen_);
-            } catch (...) {
-                gate_.fail(std::current_exception());
-                return;
-            }
+        try {
+            worker_->post([this] {
+                try {
+                    sink_->write(flight_.data(), flightLen_);
+                } catch (...) {
+                    gate_.fail(std::current_exception());
+                    return;
+                }
+                gate_.open();
+            });
+        } catch (...) {
+            // Nothing made it in flight: reopen the gate so later
+            // waits (finish, destructor) cannot deadlock.
             gate_.open();
-        });
+            throw;
+        }
     }
 
     io::RecordSink<RecordT> *sink_;
     io::BufferPool<RecordT> *pool_;
     BackgroundWorker *worker_;
+    ErrorTrap *trap_;
     std::uint64_t batch_;
     std::vector<RecordT> cur_;
     std::vector<RecordT> flight_;
@@ -493,6 +552,14 @@ class StreamEngine
      * @p back -> merged output into @p sink.  Resident memory is
      * bounded by two chunk buffers (plus one chunk of sort scratch)
      * and the batch buffer pool, independent of the dataset size.
+     *
+     * Failure contract: any I/O or task failure — in a lane's
+     * background worker, a prefetch cursor, a splitter probe, the
+     * sink — unwinds to exactly one std::runtime_error thrown from
+     * here.  First error wins; errors observed while quiescing behind
+     * it are counted in StreamStats::secondaryErrors.  All pool
+     * buffers are returned before the throw (lastPoolOutstanding()
+     * lets tests assert that).
      */
     StreamStats
     sortStream(io::RecordSource<RecordT> &source,
@@ -522,15 +589,56 @@ class StreamEngine
         for (unsigned i = 0; i < shape.lanes; ++i)
             lanes.push_back(std::make_unique<Lane>());
 
-        runPhase1(source, front, pool, lanes[0]->writer, stats);
-        runPhase2(front, back, sink, bufs, lanes, pool, stats);
+        // Sort-wide first-error latch: every cursor, writer and
+        // quiesce path records into this one trap, so the caller sees
+        // exactly one exception no matter how many lanes failed.
+        ErrorTrap trap;
+        try {
+            runPhase1(source, front, pool, lanes[0]->writer, stats,
+                      trap);
+            runPhase2(front, back, sink, bufs, lanes, pool, stats,
+                      trap);
+        } catch (...) {
+            trap.store(std::current_exception());
+        }
 
+        // Telemetry is valid on success and failure alike.
         stats.spillBytesWritten =
             front.bytesWritten() + back.bytesWritten();
         stats.spillBytesRead = front.bytesRead() + back.bytesRead();
         stats.bufferPoolPeakBytes = bufs.peakOutstanding() *
             bufs.batchRecords() * sizeof(RecordT);
+        io::IoRetryStats retries = front.retryStats();
+        retries += back.retryStats();
+        stats.ioTransientRetries = retries.transientRetries;
+        stats.ioEintrRetries = retries.eintrRetries;
+        stats.ioShortTransfers = retries.shortTransfers;
+        stats.secondaryErrors = trap.secondaryCount();
+        lastSecondaryErrors_.store(stats.secondaryErrors,
+                                   std::memory_order_relaxed);
+        lastPoolOutstanding_.store(bufs.outstanding(),
+                                   std::memory_order_relaxed);
+        trap.rethrowIfSet();
+        BONSAI_ENSURE(bufs.outstanding() == 0,
+                      "buffer pool has outstanding buffers after a "
+                      "clean streamed sort");
         return stats;
+    }
+
+    /** Pool buffers still outstanding when the last sortStream on
+     *  this engine returned or threw — 0 unless the unwind leaked
+     *  (tests assert this after injected faults). */
+    std::uint64_t
+    lastPoolOutstanding() const
+    {
+        return lastPoolOutstanding_.load(std::memory_order_relaxed);
+    }
+
+    /** Secondary (suppressed) errors of the last sortStream. */
+    std::uint64_t
+    lastSecondaryErrors() const
+    {
+        return lastSecondaryErrors_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -670,7 +778,8 @@ class StreamEngine
     void
     runPhase1(io::RecordSource<RecordT> &source,
               io::RunStore<RecordT> &store, ThreadPool &pool,
-              BackgroundWorker &writer, StreamStats &stats) const
+              BackgroundWorker &writer, StreamStats &stats,
+              ErrorTrap &trap) const
     {
         const auto t1 = std::chrono::steady_clock::now();
         const std::uint64_t total = source.totalRecords();
@@ -686,18 +795,24 @@ class StreamEngine
         try {
             fillSortSpill(source, store, pool, writer, sorter, buf,
                           gate, runs, total, chunk, stats);
+            stats.writeStallSeconds += gate[0].wait() + gate[1].wait();
         } catch (...) {
             // The writer may still reference buf/gate; quiesce the
-            // in-flight spills before the locals unwind.
+            // in-flight spills before the locals unwind.  A second
+            // failure surfacing here is recorded, not dropped (the
+            // original error stays primary).
             for (io::TaskGate &g : gate) {
                 try {
                     g.wait();
-                } catch (...) { // NOLINT(bugprone-empty-catch): quiesce only
+                } catch (...) {
+                    trap.storeSecondary(std::current_exception());
                 }
             }
             throw;
         }
-        stats.writeStallSeconds += gate[0].wait() + gate[1].wait();
+        // Durability point: a spill the device only buffered is not a
+        // spill phase 2 can trust.
+        store.flush("phase-1 spill flush");
         stats.phase1Chunks = runs.size();
         store.setRuns(std::move(runs));
         stats.phase1Seconds = secondsSince(t1);
@@ -747,15 +862,25 @@ class StreamEngine
             io::TaskGate *g = &gate[slot];
             const std::uint64_t off = offset;
             g->arm();
-            writer.post([&store, &cur, g, off, len] {
-                try {
-                    store.writeAt(off, cur.data(), len);
-                } catch (...) {
-                    g->fail(std::current_exception());
-                    return;
-                }
+            try {
+                writer.post([&store, &cur, g, off, len,
+                             ctx = "phase-1 spill of chunk " +
+                                   std::to_string(runs.size())] {
+                    try {
+                        store.writeAt(off, cur.data(), len,
+                                      ctx.c_str());
+                    } catch (...) {
+                        g->fail(std::current_exception());
+                        return;
+                    }
+                    g->open();
+                });
+            } catch (...) {
+                // Nothing made it in flight: reopen the gate so the
+                // caller's quiesce wait cannot deadlock.
                 g->open();
-            });
+                throw;
+            }
             runs.push_back(RunSpan{offset, len});
             offset += len;
             slot ^= 1;
@@ -779,7 +904,8 @@ class StreamEngine
               io::RecordSink<RecordT> &sink,
               io::BufferPool<RecordT> &bufs,
               std::vector<std::unique_ptr<Lane>> &lanes,
-              ThreadPool &pool, StreamStats &stats) const
+              ThreadPool &pool, StreamStats &stats,
+              ErrorTrap &trap) const
     {
         const auto t2 = std::chrono::steady_clock::now();
         const unsigned ell = stats.effectiveEll;
@@ -789,13 +915,16 @@ class StreamEngine
             const StagePlan plan(src->runs(), ell);
             if (plan.groups() == 1) {
                 finalPass(*src, plan.groupRuns(0), sink, bufs, lanes,
-                          pool, stats);
+                          pool, stats, trap);
                 ++stats.mergePasses;
                 break;
             }
             const std::vector<RunSpan> out = plan.outputRuns();
             mergePassStreamed(*src, *dst, plan, out, bufs, lanes,
-                              pool, stats);
+                              pool, stats, trap);
+            // Durability point: the next pass reads these runs back
+            // assuming they reached the device.
+            dst->flush("phase-2 merge pass flush");
             ++stats.mergePasses;
             dst->setRuns(out);
             src->setRuns({});
@@ -814,7 +943,8 @@ class StreamEngine
                       const std::vector<RunSpan> &out,
                       io::BufferPool<RecordT> &bufs,
                       std::vector<std::unique_ptr<Lane>> &lanes,
-                      ThreadPool &pool, StreamStats &stats) const
+                      ThreadPool &pool, StreamStats &stats,
+                      ErrorTrap &trap) const
     {
         std::vector<std::uint64_t> work;
         for (std::uint64_t g = 0; g < plan.groups(); ++g)
@@ -826,25 +956,26 @@ class StreamEngine
         if (width <= 1) {
             for (std::size_t i = 0; i < work.size(); ++i)
                 tallies[i] = mergeOneGroup(src, plan, out, work[i],
-                                           dst, bufs, *lanes[0]);
+                                           dst, bufs, *lanes[0], trap);
         } else {
             // parallelFor tasks must not throw (a leaked exception
             // kills a pool worker), so trap the first error and
-            // rethrow it after the join.
+            // rethrow it after the join.  The sort-wide trap keeps
+            // first-error-wins across lanes: one group's failure
+            // propagates, the rest are counted as secondary.
             LaneLeases leases(static_cast<unsigned>(width));
-            ErrorTrap errors;
             pool.parallelFor(work.size(), [&](std::uint64_t i) {
                 const unsigned lane = leases.acquire();
                 try {
                     tallies[i] = mergeOneGroup(src, plan, out,
                                                work[i], dst, bufs,
-                                               *lanes[lane]);
+                                               *lanes[lane], trap);
                 } catch (...) {
-                    errors.store(std::current_exception());
+                    trap.store(std::current_exception());
                 }
                 leases.release(lane);
             });
-            errors.rethrowIfSet();
+            trap.rethrowIfSet();
         }
         for (const GroupTally &t : tallies)
             foldTally(t, stats);
@@ -857,14 +988,19 @@ class StreamEngine
                   const StagePlan &plan,
                   const std::vector<RunSpan> &out, std::uint64_t g,
                   io::RunStore<RecordT> &dst,
-                  io::BufferPool<RecordT> &bufs, Lane &lane) const
+                  io::BufferPool<RecordT> &bufs, Lane &lane,
+                  ErrorTrap &trap) const
     {
         const std::vector<RunSpan> members = plan.groupRuns(g);
-        io::RunStoreSink<RecordT> gsink(dst, out[g].offset);
+        const std::string ctx =
+            "phase-2 write-back of merge group " + std::to_string(g);
+        io::RunStoreSink<RecordT> gsink(dst, out[g].offset,
+                                        ctx.c_str());
         if (members.size() == 1)
-            return copyRun(src, members[0], gsink, bufs, lane.writer);
+            return copyRun(src, members[0], gsink, bufs, lane.writer,
+                           trap);
         return mergeGroup(src, members, gsink, bufs, lane.reader,
-                          lane.writer);
+                          lane.writer, trap);
     }
 
     /** The final pass (one group, streaming to the sink): cut the
@@ -880,12 +1016,13 @@ class StreamEngine
               io::RecordSink<RecordT> &sink,
               io::BufferPool<RecordT> &bufs,
               std::vector<std::unique_ptr<Lane>> &lanes,
-              ThreadPool &pool, StreamStats &stats) const
+              ThreadPool &pool, StreamStats &stats,
+              ErrorTrap &trap) const
     {
         if (members.size() == 1) {
             stats.finalSlices = 1;
             foldTally(copyRun(src, members[0], sink, bufs,
-                              lanes[0]->writer),
+                              lanes[0]->writer, trap),
                       stats);
             return;
         }
@@ -902,7 +1039,8 @@ class StreamEngine
         if (slices <= 1) {
             stats.finalSlices = 1;
             foldTally(mergeGroup(src, members, sink, bufs,
-                                 lanes[0]->reader, lanes[0]->writer),
+                                 lanes[0]->reader, lanes[0]->writer,
+                                 trap),
                       stats);
             return;
         }
@@ -919,7 +1057,6 @@ class StreamEngine
         sink.beginSegments(total);
         stats.finalSlices = static_cast<unsigned>(slices);
         std::vector<GroupTally> tallies(slices);
-        ErrorTrap errors;
         pool.parallelFor(slices, [&](std::uint64_t t) {
             try {
                 // Keep every member — empty sub-spans included — in
@@ -934,12 +1071,12 @@ class StreamEngine
                 io::SegmentSink<RecordT> seg(sink, base[t]);
                 tallies[t] = mergeGroup(src, sub, seg, bufs,
                                         lanes[t]->reader,
-                                        lanes[t]->writer);
+                                        lanes[t]->writer, trap);
             } catch (...) {
-                errors.store(std::current_exception());
+                trap.store(std::current_exception());
             }
         });
-        errors.rethrowIfSet();
+        trap.rethrowIfSet();
         for (const GroupTally &t : tallies)
             foldTally(t, stats);
     }
@@ -976,7 +1113,8 @@ class StreamEngine
             for (std::uint64_t pos = 0; pos < members[j].length;
                  pos += stride) {
                 Sample s;
-                src.readAt(members[j].offset + pos, &s.rec, 1);
+                src.readAt(members[j].offset + pos, &s.rec, 1,
+                           "final-pass splitter sample probe");
                 s.j = j;
                 s.pos = pos;
                 samples.push_back(s);
@@ -1042,7 +1180,8 @@ class StreamEngine
         while (lo < hi) {
             const std::uint64_t mid = lo + (hi - lo) / 2;
             RecordT head;
-            src.readAt(m.offset + mid * batch, &head, 1);
+            src.readAt(m.offset + mid * batch, &head, 1,
+                       "final-pass splitter boundary probe");
             if (before(head))
                 lo = mid + 1;
             else
@@ -1053,7 +1192,8 @@ class StreamEngine
         const std::uint64_t start = (lo - 1) * batch;
         const std::uint64_t len =
             std::min<std::uint64_t>(batch, m.length - start);
-        src.readAt(m.offset + start, win.data(), len);
+        src.readAt(m.offset + start, win.data(), len,
+                   "final-pass splitter boundary window");
         const RecordT *split = std::partition_point(
             win.data(), win.data() + len, before);
         return start + static_cast<std::uint64_t>(split - win.data());
@@ -1065,12 +1205,23 @@ class StreamEngine
     GroupTally
     copyRun(const io::RunStore<RecordT> &src, const RunSpan &run,
             io::RecordSink<RecordT> &out, io::BufferPool<RecordT> &bufs,
-            BackgroundWorker &writer) const
+            BackgroundWorker &writer, ErrorTrap &trap) const
     {
         GroupTally tally;
         const std::uint64_t batch = bufs.batchRecords();
-        std::array<std::vector<RecordT>, 2> buf = {bufs.acquire(),
-                                                   bufs.acquire()};
+        const std::string ctx = "batch-copy of run @" +
+                                std::to_string(run.offset) + "+" +
+                                std::to_string(run.length);
+        // First acquire in the initializer, second guarded: if it
+        // throws the first buffer still returns to the pool.
+        std::array<std::vector<RecordT>, 2> buf;
+        buf[0] = bufs.acquire();
+        try {
+            buf[1] = bufs.acquire();
+        } catch (...) {
+            bufs.release(std::move(buf[0]));
+            throw;
+        }
         std::array<io::TaskGate, 2> gate;
         std::array<std::uint64_t, 2> len = {0, 0};
         try {
@@ -1081,32 +1232,42 @@ class StreamEngine
                     std::min<std::uint64_t>(batch, run.length - done);
                 // This buffer's previous write must have landed.
                 tally.writeStall += gate[slot].wait();
-                src.readAt(run.offset + done, buf[slot].data(), n);
+                src.readAt(run.offset + done, buf[slot].data(), n,
+                           ctx.c_str());
                 len[slot] = n;
                 io::TaskGate *g = &gate[slot];
                 const std::vector<RecordT> *b = &buf[slot];
                 const std::uint64_t *l = &len[slot];
                 g->arm();
-                writer.post([&out, g, b, l] {
-                    try {
-                        out.write(b->data(), *l);
-                    } catch (...) {
-                        g->fail(std::current_exception());
-                        return;
-                    }
+                try {
+                    writer.post([&out, g, b, l] {
+                        try {
+                            out.write(b->data(), *l);
+                        } catch (...) {
+                            g->fail(std::current_exception());
+                            return;
+                        }
+                        g->open();
+                    });
+                } catch (...) {
+                    // Nothing made it in flight: reopen the gate so
+                    // the quiesce below cannot deadlock.
                     g->open();
-                });
+                    throw;
+                }
                 done += n;
                 slot ^= 1;
             }
             tally.writeStall += gate[0].wait() + gate[1].wait();
         } catch (...) {
             // An in-flight write still references buf; quiesce the
-            // gates before the buffers return to the pool.
+            // gates before the buffers return to the pool, recording
+            // (not dropping) any second failure behind the first.
             for (io::TaskGate &g : gate) {
                 try {
                     g.wait();
-                } catch (...) { // NOLINT(bugprone-empty-catch): quiesce only
+                } catch (...) {
+                    trap.storeSecondary(std::current_exception());
                 }
             }
             bufs.release(std::move(buf[0]));
@@ -1125,15 +1286,15 @@ class StreamEngine
                const std::vector<RunSpan> &members,
                io::RecordSink<RecordT> &out,
                io::BufferPool<RecordT> &bufs, BackgroundWorker &reader,
-               BackgroundWorker &writer) const
+               BackgroundWorker &writer, ErrorTrap &trap) const
     {
         GroupTally tally;
         std::vector<std::unique_ptr<RunCursor<RecordT>>> cursors;
         cursors.reserve(members.size());
         for (const RunSpan &m : members)
             cursors.push_back(std::make_unique<RunCursor<RecordT>>(
-                src, m, bufs, reader));
-        StreamWriter<RecordT> drain(out, bufs, writer);
+                src, m, bufs, reader, &trap));
+        StreamWriter<RecordT> drain(out, bufs, writer, &trap);
         CursorMerge<RecordT> merge(cursors);
         while (!merge.done()) {
             drain.push(merge.pop());
@@ -1166,6 +1327,11 @@ class StreamEngine
     }
 
     Options opt_;
+    /** Post-mortem telemetry of the last sortStream (relaxed: written
+     *  once at the end of a sort, read by tests afterwards).  Mutable
+     *  because a failed sort is still a const operation. */
+    mutable std::atomic<std::uint64_t> lastPoolOutstanding_{0};
+    mutable std::atomic<std::uint64_t> lastSecondaryErrors_{0};
 };
 
 } // namespace bonsai::sorter

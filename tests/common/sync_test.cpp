@@ -133,5 +133,59 @@ TEST(SyncPrimitives, ErrorTrapUnderConcurrentStores)
     trap.rethrowIfSet();
 }
 
+TEST(SyncPrimitives, ErrorTrapCountsSecondaryErrors)
+{
+    // Unwind errors behind a primary failure are counted, not kept:
+    // first error wins, the tally is telemetry.
+    ErrorTrap trap;
+    try {
+        throw std::runtime_error("primary");
+    } catch (...) {
+        trap.store(std::current_exception());
+    }
+    for (int i = 0; i < 3; ++i) {
+        try {
+            throw std::logic_error("cleanup");
+        } catch (...) {
+            trap.storeSecondary(std::current_exception());
+        }
+    }
+    EXPECT_EQ(trap.secondaryCount(), 3u);
+    EXPECT_THROW(trap.rethrowIfSet(), std::runtime_error);
+}
+
+TEST(SyncPrimitives, ErrorTrapHoldsLoneCleanupError)
+{
+    // A cleanup failure with no primary behind it still fails the
+    // operation — it must not vanish into a counter.
+    ErrorTrap trap;
+    try {
+        throw std::runtime_error("cleanup-only");
+    } catch (...) {
+        trap.storeSecondary(std::current_exception());
+    }
+    EXPECT_EQ(trap.secondaryCount(), 0u);
+    EXPECT_THROW(trap.rethrowIfSet(), std::runtime_error);
+}
+
+TEST(SyncPrimitives, ErrorTrapDemotesHeldCleanupErrorToSecondary)
+{
+    // Destructors can observe their error before the thrower's catch
+    // block stores the primary; the primary must still win.
+    ErrorTrap trap;
+    try {
+        throw std::logic_error("cleanup, observed first");
+    } catch (...) {
+        trap.storeSecondary(std::current_exception());
+    }
+    try {
+        throw std::runtime_error("the real failure");
+    } catch (...) {
+        trap.store(std::current_exception());
+    }
+    EXPECT_EQ(trap.secondaryCount(), 1u);
+    EXPECT_THROW(trap.rethrowIfSet(), std::runtime_error);
+}
+
 } // namespace
 } // namespace bonsai
