@@ -183,8 +183,29 @@ cmdExtSort(const char *in_path, const char *out_path, unsigned threads,
 int
 cmdValidate(const char *path)
 {
-    const auto recs = readRecords(path);
-    const ValsortSummary summary = valsortSummary(recs);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 1;
+    }
+    // Stream the file through a bounded batch buffer: validation
+    // memory stays one batch regardless of file size, matching what
+    // extsort promises for the sort itself.
+    constexpr std::size_t kBatchRecords = 1 << 14;
+    std::vector<GensortRecord> batch(kBatchRecords);
+    ValsortAccumulator acc;
+    for (;;) {
+        in.read(reinterpret_cast<char *>(batch.data()),
+                static_cast<std::streamsize>(batch.size() *
+                                             GensortRecord::kBytes));
+        const std::uint64_t got =
+            static_cast<std::uint64_t>(in.gcount()) /
+            GensortRecord::kBytes;
+        acc.feed(batch.data(), got);
+        if (got < batch.size())
+            break;
+    }
+    const ValsortSummary &summary = acc.summary();
     std::printf("records    : %llu\n",
                 static_cast<unsigned long long>(summary.records));
     std::printf("checksum   : %016llx\n",

@@ -59,7 +59,45 @@ if ! python3 scripts/check_style.py; then
     failures=$((failures + 1))
 fi
 
-# 2. clang-tidy over the compilation database.
+# 2. Header self-containment: every public header under src/ must
+#    compile alone (-fsyntax-only), so no header depends on what its
+#    includer happened to include first.  Any available C++ compiler
+#    can check this; prefer $CXX, then clang++, then g++.
+header_cxx=""
+for candidate in "${CXX:-}" clang++ g++; do
+    [ -n "$candidate" ] || continue
+    if command -v "$candidate" >/dev/null 2>&1; then
+        header_cxx="$candidate"
+        break
+    fi
+done
+if [ -z "$header_cxx" ]; then
+    if [ "$strict" -eq 1 ]; then
+        note "lint: no C++ compiler for header self-containment" \
+             "(required in --strict mode)"
+        failures=$((failures + 1))
+    else
+        note "lint: no C++ compiler found, skipping header" \
+             "self-containment"
+        skipped=$((skipped + 1))
+    fi
+else
+    note "lint: checking header self-containment with $header_cxx"
+    header_failures=0
+    while IFS= read -r hdr; do
+        if ! "$header_cxx" -std=c++20 -fsyntax-only -I src \
+                -x c++ "$hdr"; then
+            note "lint: header not self-contained: $hdr"
+            header_failures=$((header_failures + 1))
+        fi
+    done < <(find src -name '*.hpp' | sort)
+    if [ "$header_failures" -ne 0 ]; then
+        note "lint: $header_failures header(s) not self-contained"
+        failures=$((failures + 1))
+    fi
+fi
+
+# 3. clang-tidy over the compilation database.
 if require_tool clang-tidy; then
     if [ ! -f "$build_dir/compile_commands.json" ]; then
         note "lint: $build_dir/compile_commands.json missing;" \
@@ -74,7 +112,7 @@ if require_tool clang-tidy; then
     fi
 fi
 
-# 3. clang-format (check-only; never rewrites).
+# 4. clang-format (check-only; never rewrites).
 if require_tool clang-format; then
     note "lint: running clang-format --dry-run"
     mapfile -t fmt_sources < \

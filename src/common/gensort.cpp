@@ -56,26 +56,35 @@ packGensort(const GensortRecord &rec)
     return r;
 }
 
+void
+ValsortAccumulator::feed(const GensortRecord *recs, std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const GensortRecord &rec = recs[i];
+        std::uint64_t rec_sum = 0;
+        for (std::uint8_t b : rec.bytes)
+            rec_sum = rec_sum * 31 + b;
+        summary_.checksum += rec_sum;
+        ++summary_.records;
+        if (havePrev_) {
+            if (rec < prev_ && summary_.sorted) {
+                summary_.sorted = false;
+                summary_.unorderedAt = summary_.records;
+            }
+            if (!(prev_ < rec) && !(rec < prev_))
+                ++summary_.duplicateKeys;
+        }
+        prev_ = rec;
+        havePrev_ = true;
+    }
+}
+
 ValsortSummary
 valsortSummary(const std::vector<GensortRecord> &recs)
 {
-    ValsortSummary summary;
-    summary.records = recs.size();
-    for (std::size_t i = 0; i < recs.size(); ++i) {
-        std::uint64_t rec_sum = 0;
-        for (std::uint8_t b : recs[i].bytes)
-            rec_sum = rec_sum * 31 + b;
-        summary.checksum += rec_sum;
-        if (i > 0) {
-            if (recs[i] < recs[i - 1] && summary.sorted) {
-                summary.sorted = false;
-                summary.unorderedAt = i + 1;
-            }
-            if (!(recs[i - 1] < recs[i]) && !(recs[i] < recs[i - 1]))
-                ++summary.duplicateKeys;
-        }
-    }
-    return summary;
+    ValsortAccumulator acc;
+    acc.feed(recs.data(), recs.size());
+    return acc.summary();
 }
 
 std::vector<Record128>

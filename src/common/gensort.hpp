@@ -107,6 +107,28 @@ struct ValsortSummary
 /** Compute the summary of @p recs (duplicates meaningful if sorted). */
 ValsortSummary valsortSummary(const std::vector<GensortRecord> &recs);
 
+/**
+ * Incremental valsort computation: feed record batches in file order
+ * and read the summary at any point.  The order and duplicate checks
+ * only ever compare adjacent records, so one carried record is all
+ * the state a whole-file validation needs — a validator can stream
+ * through a bounded batch buffer instead of materializing the file.
+ */
+class ValsortAccumulator
+{
+  public:
+    /** Fold the next @p count records (in file order) in. */
+    void feed(const GensortRecord *recs, std::uint64_t count);
+
+    /** Summary over everything fed so far. */
+    const ValsortSummary &summary() const { return summary_; }
+
+  private:
+    ValsortSummary summary_;
+    GensortRecord prev_; ///< last record of the previous feed()
+    bool havePrev_ = false;
+};
+
 } // namespace bonsai
 
 #endif // BONSAI_COMMON_GENSORT_HPP

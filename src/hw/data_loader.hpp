@@ -20,6 +20,7 @@
 #ifndef BONSAI_HW_DATA_LOADER_HPP
 #define BONSAI_HW_DATA_LOADER_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>

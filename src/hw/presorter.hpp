@@ -13,6 +13,7 @@
 #ifndef BONSAI_HW_PRESORTER_HPP
 #define BONSAI_HW_PRESORTER_HPP
 
+#include <algorithm>
 #include <string>
 #include <vector>
 

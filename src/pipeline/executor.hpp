@@ -1,0 +1,98 @@
+/**
+ * @file
+ * PipelineExecutor: runs the stages of one dataflow pipeline
+ * concurrently with first-error-wins unwind.
+ *
+ * Scheduling: the executor owns a bonsai::ThreadPool sized to the
+ * stage count, so parallelFor(n) hands every stage its own thread
+ * (the claiming loop assigns one unclaimed index per idle thread, and
+ * a thread only takes a second index after finishing its first —
+ * which for pipeline stages means that stage completed).  That makes
+ * blocking stage bodies safe: a stage blocked on a queue is always
+ * waiting on a stage that either runs already or will be claimed by
+ * an idle pool thread.  The engine's compute pool is a *different*
+ * pool, so stage bodies may parallelFor on it freely (only nested
+ * parallelism on one pool is banned).
+ *
+ * Error contract: the first stage to throw anything other than
+ * PipelineAborted becomes the primary error — it is stored in the
+ * caller's ErrorTrap and the caller-supplied abort hook runs (its job:
+ * poison every queue of the pipeline).  The remaining stages then
+ * unwind on PipelineAborted, which the executor absorbs silently: an
+ * abort echo is not a new failure, so ErrorTrap::secondaryCount()
+ * stays meaningful (a genuine second device error, thrown before the
+ * poison reached that stage, is stored too and counted secondary by
+ * the trap).  run() itself never throws pipeline errors — callers
+ * decide when to rethrow via trap.rethrowIfSet().
+ */
+
+#ifndef BONSAI_PIPELINE_EXECUTOR_HPP
+#define BONSAI_PIPELINE_EXECUTOR_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_pool.hpp"
+#include "pipeline/queue.hpp"
+#include "pipeline/stage.hpp"
+
+namespace bonsai::pipeline
+{
+
+class PipelineExecutor
+{
+  public:
+    /**
+     * Run every stage in @p stages to completion, one thread each.
+     *
+     * @param stages The pipeline's vertices; the queues wiring them
+     *        are owned by the caller (and by the stages by reference).
+     * @param trap   Sort-wide first-error latch; the primary failure
+     *        lands here.  Not rethrown — callers rethrowIfSet() at
+     *        the boundary where the unwind is complete.
+     * @param abort  Poison hook, called (once per failing stage) when
+     *        a primary error is trapped; must poison every queue so
+     *        blocked stages wake and unwind.
+     * @return Per-stage telemetry, index-aligned with @p stages.
+     */
+    static std::vector<StageStats>
+    run(std::span<Stage *const> stages, ErrorTrap &trap,
+        const std::function<void()> &abort)
+    {
+        std::vector<StageStats> stats(stages.size());
+        if (stages.empty())
+            return stats;
+        // One thread per stage — see the file comment for why the
+        // width must match the stage count exactly.
+        ThreadPool pool(static_cast<unsigned>(stages.size()));
+        pool.parallelFor(
+            stages.size(), [&stages, &stats, &trap,
+                            &abort](std::uint64_t i) {
+                StageStats &s = stats[i];
+                s.name = stages[i]->name();
+                const auto t0 = std::chrono::steady_clock::now();
+                try {
+                    stages[i]->run(s);
+                } catch (const PipelineAborted &) {
+                    // Unwind behind the primary error; absorbed.
+                } catch (...) {
+                    trap.store(std::current_exception());
+                    abort();
+                }
+                s.activeSeconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+            });
+        return stats;
+    }
+};
+
+} // namespace bonsai::pipeline
+
+#endif // BONSAI_PIPELINE_EXECUTOR_HPP

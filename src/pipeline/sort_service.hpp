@@ -1,0 +1,135 @@
+/**
+ * @file
+ * SortService: several concurrent out-of-core sorts over one shared
+ * executor and one global buffer-pool budget.
+ *
+ * Each SortJob is an independent {source, sink, run-store pair}; the
+ * service runs every job as a stage of one PipelineExecutor (one
+ * thread per job) against a single BufferPool whose budget is the
+ * service-wide memory bound.  Fair lane leasing falls out of the
+ * Equation-10 shape derivation: each job plans its phase-2 shape
+ * against an equal allowance of floor(buffers / jobs) pool buffers,
+ * and a job's concurrent holdings never exceed its shape's
+ * lanes * (2 ell + 2) <= allowance buffers — so the per-job maxima
+ * sum to at most the pool supply and blocking acquires cannot
+ * deadlock across jobs, while every job always owns enough budget to
+ * make progress.  Too many jobs for the budget (allowance < 6
+ * buffers) fails loudly up front instead of deadlocking mid-sort.
+ *
+ * Output equivalence: the augmented (key, run index, position) merge
+ * order makes each job's output byte-identical to the same sort run
+ * serially with a private pool — the shape only changes the pass
+ * structure, never the emitted sequence.
+ *
+ * Error contract: first error wins across jobs.  A failing job does
+ * not poison the others (they share no queues, only the pool, whose
+ * unwind discipline returns every buffer) — surviving jobs complete,
+ * then the first failure is rethrown; later failures are counted as
+ * that trap's secondary errors.  After all jobs finish, the shared
+ * pool must have zero outstanding buffers.
+ */
+
+#ifndef BONSAI_PIPELINE_SORT_SERVICE_HPP
+#define BONSAI_PIPELINE_SORT_SERVICE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/sync.hpp"
+#include "io/buffer_pool.hpp"
+#include "io/run_store.hpp"
+#include "io/stream.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/stage.hpp"
+#include "sorter/external.hpp"
+
+namespace bonsai::pipeline
+{
+
+/** One sort's endpoints: all referenced objects must outlive
+ *  SortService::run and belong to this job alone. */
+template <typename RecordT>
+struct SortJob
+{
+    io::RecordSource<RecordT> *source = nullptr;
+    io::RecordSink<RecordT> *sink = nullptr;
+    io::RunStore<RecordT> *front = nullptr;
+    io::RunStore<RecordT> *back = nullptr;
+};
+
+template <typename RecordT>
+class SortService
+{
+  public:
+    using Options = typename sorter::StreamEngine<RecordT>::Options;
+
+    /** @p opt applies to every job; bufferBudgetBytes is the GLOBAL
+     *  budget shared by all concurrent jobs, threads the per-job
+     *  compute width. */
+    explicit SortService(Options opt) : opt_(opt) {}
+
+    /**
+     * Run all of @p jobs concurrently; returns per-job telemetry,
+     * index-aligned with @p jobs.  Throws the first job failure after
+     * every job has finished (survivors are not cancelled — their
+     * results are valid).
+     */
+    std::vector<sorter::StreamStats>
+    run(const std::vector<SortJob<RecordT>> &jobs) const
+    {
+        std::vector<sorter::StreamStats> results(jobs.size());
+        if (jobs.empty())
+            return results;
+        io::BufferPool<RecordT> bufs(opt_.batchRecords,
+                                     opt_.bufferBudgetBytes);
+        // Equal allowances: phase2Shape fails loudly inside a job if
+        // its slice of the budget cannot hold one 2-way merge lane.
+        const std::uint64_t allowance = bufs.buffers() / jobs.size();
+
+        // One engine per job: an engine's post-mortem atomics are
+        // per-sort state, and a shared instance would interleave them.
+        std::vector<std::unique_ptr<sorter::StreamEngine<RecordT>>>
+            engines;
+        std::vector<std::unique_ptr<FnStage>> stages;
+        std::vector<Stage *> vertices;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            engines.push_back(
+                std::make_unique<sorter::StreamEngine<RecordT>>(
+                    opt_));
+            const SortJob<RecordT> &job = jobs[i];
+            sorter::StreamEngine<RecordT> &engine = *engines.back();
+            sorter::StreamStats &result = results[i];
+            stages.push_back(std::make_unique<FnStage>(
+                "sort-job-" + std::to_string(i),
+                [&engine, &job, &result, &bufs,
+                 allowance](StageStats &) {
+                    result = engine.sortStreamShared(
+                        *job.source, *job.sink, *job.front,
+                        *job.back, bufs, allowance,
+                        /* exclusive_pool = */ false);
+                }));
+            vertices.push_back(stages.back().get());
+        }
+
+        ErrorTrap trap;
+        // The abort hook is a no-op: jobs share no queues, and a
+        // failed job must not cancel its siblings.
+        PipelineExecutor::run(vertices, trap, [] {});
+        trap.rethrowIfSet();
+        BONSAI_ENSURE(bufs.outstanding() == 0,
+                      "shared buffer pool has outstanding buffers "
+                      "after all sort jobs finished");
+        return results;
+    }
+
+  private:
+    Options opt_;
+};
+
+} // namespace bonsai::pipeline
+
+#endif // BONSAI_PIPELINE_SORT_SERVICE_HPP

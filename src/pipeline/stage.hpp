@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Pipeline stages and their telemetry.
+ *
+ * A Stage is one vertex of a dataflow pipeline: a named body that
+ * runs once, start to finish, on its own executor thread, consuming
+ * items from upstream BoundedQueues and producing into downstream
+ * ones.  Stages hold typed queue references themselves (the queues
+ * are the edges; the executor never sees them) — the pull()/emit()
+ * helpers below wire a queue operation to the stage's stall and
+ * throughput counters so every stage reports where its time went.
+ *
+ * Error contract: a stage that throws anything but PipelineAborted is
+ * the pipeline's primary failure; the executor traps it and poisons
+ * the queues, after which the remaining stages unwind on
+ * PipelineAborted without being counted as new errors.  A stage that
+ * holds resources across a pull/emit (pool buffers, open files) must
+ * hold them in RAII wrappers, so the unwind releases them.
+ */
+
+#ifndef BONSAI_PIPELINE_STAGE_HPP
+#define BONSAI_PIPELINE_STAGE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "pipeline/queue.hpp"
+
+namespace bonsai::pipeline
+{
+
+/** Per-stage telemetry, filled in by the executor and the
+ *  pull()/emit() helpers. */
+struct StageStats
+{
+    std::string name;
+    std::uint64_t itemsIn = 0;  ///< items pulled from upstream
+    std::uint64_t itemsOut = 0; ///< items emitted downstream
+    /** Seconds blocked on an empty upstream queue (starved). */
+    double inStallSeconds = 0.0;
+    /** Seconds blocked on a full downstream queue (backpressured). */
+    double outStallSeconds = 0.0;
+    /** Wall-clock seconds of the whole stage body. */
+    double activeSeconds = 0.0;
+};
+
+/** One vertex of a pipeline: run() is called exactly once, on a
+ *  thread of its own. */
+class Stage
+{
+  public:
+    explicit Stage(std::string name) : name_(std::move(name)) {}
+    virtual ~Stage() = default;
+
+    Stage(const Stage &) = delete;
+    Stage &operator=(const Stage &) = delete;
+
+    /** Stage name, for telemetry and error reports. */
+    const std::string &name() const { return name_; }
+
+    /** The stage body: loop over the queues until the upstream edge
+     *  reports end-of-stream, then close the downstream edge. */
+    virtual void run(StageStats &stats) = 0;
+
+  private:
+    std::string name_;
+};
+
+/** A stage from a callable — test fixtures and one-off adapters. */
+class FnStage : public Stage
+{
+  public:
+    FnStage(std::string name, std::function<void(StageStats &)> body)
+        : Stage(std::move(name)), body_(std::move(body))
+    {
+    }
+
+    void run(StageStats &stats) override { body_(stats); }
+
+  private:
+    std::function<void(StageStats &)> body_;
+};
+
+/** Pop from @p in, counting the wait against @p stats; std::nullopt
+ *  means the upstream stage closed the edge and it has drained. */
+template <typename T>
+std::optional<T>
+pull(BoundedQueue<T> &in, StageStats &stats)
+{
+    std::optional<T> item = in.pop(stats.inStallSeconds);
+    if (item)
+        ++stats.itemsIn;
+    return item;
+}
+
+/** Push onto @p out, counting backpressure against @p stats. */
+template <typename T>
+void
+emit(BoundedQueue<T> &out, T item, StageStats &stats)
+{
+    stats.outStallSeconds += out.push(std::move(item));
+    ++stats.itemsOut;
+}
+
+} // namespace bonsai::pipeline
+
+#endif // BONSAI_PIPELINE_STAGE_HPP

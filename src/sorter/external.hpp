@@ -1,46 +1,33 @@
 /**
  * @file
- * Out-of-core two-phase streaming sort engine (paper Section IV-C/D).
+ * Out-of-core two-phase streaming sort engine (paper Section IV-C/D)
+ * — the facade over the decomposed streaming-sort modules:
  *
- * The facade-level SsdSorter used to require the whole dataset in one
- * std::vector.  This engine runs the same two-phase structure against
- * the io streaming layer with bounded memory:
+ *   sorter/stream_stats.hpp   unified telemetry struct
+ *   sorter/run_cursor.hpp     prefetching run cursor (2 pool buffers)
+ *   sorter/stream_writer.hpp  double-buffered batch writer
+ *   sorter/tournament.hpp     the shared loser-tree merge kernel
+ *   sorter/merge_plan.hpp     Equation-10 shape, lanes, lane leases
+ *   sorter/splitter.hpp       out-of-core Merge Path boundary search
+ *   sorter/phase1_spill.hpp   phase 1 as a read->sort->spill pipeline
+ *   sorter/phase2_merge.hpp   phase 2 merge passes and the final pass
  *
- *  Phase 1 — stream fixed-size chunks from a RecordSource into a
- *  working buffer, sort each *in place* with the BehavioralSorter
- *  (no per-chunk copy round trip), and spill the sorted runs to a
- *  RunStore.  Two chunk buffers alternate so the spill write-back of
- *  chunk k overlaps the load+sort of chunk k+1 (the paper's
- *  double-buffered data loader, writ large).
+ * Phase 1 streams fixed-size chunks from a RecordSource through a
+ * three-stage dataflow pipeline (pipeline/executor.hpp) — load, sort
+ * in place with the BehavioralSorter, spill to a RunStore — with a
+ * two-buffer recycle ring, so the spill write-back of chunk k
+ * overlaps the load+sort of chunk k+1 (the paper's double-buffered
+ * data loader, writ large).
  *
- *  Phase 2 — ell-way merge passes ping-pong runs between two stores;
- *  every pass is one full storage round trip (the paper's SSD
- *  round-trip cost unit).  Each input run streams through a
- *  double-buffered cursor whose next batch is prefetched on a
- *  background worker while the merge consumes the current one, and
- *  merged output drains through a double-buffered write-back path.
- *  Batch size b and the total buffer budget mirror Equation 10's
- *  b * ell on-chip buffer bound: the effective merge fan-in AND the
- *  number of concurrently merging groups are jointly derived from the
- *  budget (b * (2 ell + 2) * W buffers), so resident memory never
- *  exceeds it.
- *
- *  Phase 2 runs on the engine's ThreadPool (TopSort-style parallel
- *  merge units):
- *   - non-final passes schedule independent merge groups on up to W
- *    "lanes", each lane owning its own prefetch and write-back
- *    workers so I/O of concurrent groups does not serialize;
- *   - the final pass (one group, streaming to the sink) is cut into
- *    W key-space slices along splitters chosen in the augmented
- *    (key, run index, position) order — Merge Path extended out of
- *    core: run boundaries are found by batch-granularity binary
- *    search through RunStore::readAt, each slice merges through its
- *    own cursor set, and slices land in the sink as positioned
- *    segments at their exact output ranks, so the byte sequence is
- *    identical to the serial tournament for any thread count,
- *    including equal-key floods.
- *  When the budget admits only one lane (or the sink cannot take
- *  positioned segments), phase 2 falls back to the serial path.
+ * Phase 2 runs ell-way merge passes that ping-pong runs between two
+ * stores; every pass is one full storage round trip (the paper's SSD
+ * round-trip cost unit).  Batch size b and the buffer budget mirror
+ * Equation 10's b * ell on-chip buffer bound: fan-in AND the number
+ * of concurrently merging lanes are jointly derived from the budget
+ * (b * (2 ell + 2) * W buffers), so resident memory never exceeds
+ * it.  The final pass is splitter-partitioned into positioned sink
+ * segments — byte-identical to the serial tournament for any thread
+ * count, including equal-key floods.
  *
  * Memory-backed stores short-circuit: when both stores expose a
  * memorySpan(), a pass runs on BehavioralSorter::runStage — the Merge
@@ -50,20 +37,23 @@
  * augmented order), so a file-backed sort is byte-identical to the
  * in-memory sort of the same input whenever the buffer budget admits
  * the planned fan-in.
+ *
+ * Concurrent sorts: sortStream() owns a private BufferPool;
+ * sortStreamShared() runs the same sort against a caller-owned pool
+ * under a buffer allowance, which is how pipeline::SortService packs
+ * several concurrent jobs into one global budget.
  */
 
 #ifndef BONSAI_SORTER_EXTERNAL_HPP
 #define BONSAI_SORTER_EXTERNAL_HPP
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <exception>
 #include <memory>
 #include <span>
-#include <string>
 #include <utility>
 #include <vector>
 
@@ -75,389 +65,14 @@
 #include "io/run_store.hpp"
 #include "io/stream.hpp"
 #include "sorter/behavioral.hpp"
+#include "sorter/merge_plan.hpp"
+#include "sorter/phase1_spill.hpp"
+#include "sorter/phase2_merge.hpp"
 #include "sorter/stage_plan.hpp"
+#include "sorter/stream_stats.hpp"
 
 namespace bonsai::sorter
 {
-
-/**
- * Unified telemetry of a streamed (or adapted in-memory) sort, shared
- * by SortReport and SsdReport so benches compare backends uniformly.
- */
-struct StreamStats
-{
-    std::uint64_t recordsIn = 0;
-    std::uint64_t recordsMoved = 0;       ///< total, both phases
-    std::uint64_t phase1RecordsMoved = 0; ///< in-chunk sort moves only
-    std::uint64_t phase1Chunks = 0;
-    std::uint64_t spillBytesWritten = 0; ///< run-store write traffic
-    std::uint64_t spillBytesRead = 0;    ///< run-store read traffic
-    unsigned mergePasses = 0;    ///< phase-2 storage round trips
-    unsigned effectiveEll = 0;   ///< fan-in after the buffer budget cap
-    /** Phase-2 merge lanes the budget admits: groups merged
-     *  concurrently in non-final passes (1 = serial fallback). */
-    unsigned concurrentGroups = 0;
-    /** Splitter slices the final pass actually merged with (1 =
-     *  serial tournament). */
-    unsigned finalSlices = 0;
-    std::uint64_t batchRecords = 0;    ///< streaming batch size b
-    std::uint64_t bufferPoolBytes = 0; ///< bounded pool budget
-    /** High-water pool usage (streamed path only; 0 for the
-     *  zero-copy in-memory adapter, which holds no pool buffers). */
-    std::uint64_t bufferPoolPeakBytes = 0;
-    double phase1Seconds = 0.0;
-    double phase2Seconds = 0.0;
-    /** Stall seconds are summed across all phase-2 workers (per-
-     *  worker accounting), so with several lanes they may exceed the
-     *  phase wall clock. */
-    double readStallSeconds = 0.0;  ///< merge blocked on prefetch
-    double writeStallSeconds = 0.0; ///< blocked on write-back
-    /** Spill-store I/O hardening counters (front + back stores; the
-     *  output sink's own device is not visible to the engine). */
-    std::uint64_t ioTransientRetries = 0; ///< EIO/EAGAIN retried
-    std::uint64_t ioEintrRetries = 0;     ///< interrupted, retried
-    std::uint64_t ioShortTransfers = 0;   ///< partial, resumed
-    /** Errors suppressed behind the first (propagated) one. */
-    std::uint64_t secondaryErrors = 0;
-
-    friend bool operator==(const StreamStats &,
-                           const StreamStats &) = default;
-};
-
-/**
- * Forward-only view of one stored run: double-buffered, batch-sized
- * reads with the next batch prefetched on a background worker while
- * the merge consumes the current one.
- */
-template <typename RecordT>
-class RunCursor
-{
-  public:
-    RunCursor(const io::RunStore<RecordT> &store, RunSpan span,
-              io::BufferPool<RecordT> &pool, BackgroundWorker &reader,
-              ErrorTrap *trap = nullptr)
-        : store_(&store), pool_(&pool), reader_(&reader), trap_(trap),
-          batch_(pool.batchRecords()), next_(span.offset),
-          end_(span.offset + span.length)
-    {
-        ctx_ = "streaming run @" + std::to_string(span.offset) + "+" +
-               std::to_string(span.length);
-        // Acquire and fill in the body, not the initializer list: a
-        // throwing initial read after list-acquired buffers would skip
-        // the destructor and leak the pool's outstanding count.
-        cur_ = pool.acquire();
-        try {
-            pre_ = pool.acquire();
-            curLen_ = std::min<std::uint64_t>(batch_, end_ - next_);
-            if (curLen_ > 0) {
-                store_->readAt(next_, cur_.data(), curLen_,
-                               ctx_.c_str());
-                next_ += curLen_;
-            }
-            schedulePrefetch();
-        } catch (...) {
-            if (!pre_.empty())
-                pool.release(std::move(pre_));
-            pool.release(std::move(cur_));
-            throw;
-        }
-    }
-
-    RunCursor(const RunCursor &) = delete;
-    RunCursor &operator=(const RunCursor &) = delete;
-
-    ~RunCursor()
-    {
-        // An in-flight prefetch still targets pre_; let it land before
-        // the buffers return to the pool.  Nobody will consume the
-        // data a failed prefetch was reading, but a device error must
-        // not vanish either: record it as a secondary error (first
-        // error wins).
-        try {
-            gate_.wait();
-        } catch (...) {
-            if (trap_ != nullptr)
-                trap_->storeSecondary(std::current_exception());
-        }
-        pool_->release(std::move(cur_));
-        pool_->release(std::move(pre_));
-    }
-
-    /** No more records in [span.offset, span.offset + span.length). */
-    bool exhausted() const { return pos_ >= curLen_; }
-
-    const RecordT &head() const { return cur_[pos_]; }
-
-    void
-    advance()
-    {
-        ++pos_;
-        if (pos_ == curLen_)
-            refill();
-    }
-
-    /** Seconds the consumer blocked waiting for prefetched batches. */
-    double stallSeconds() const { return stall_; }
-
-  private:
-    void
-    refill()
-    {
-        if (preLen_ == 0)
-            return; // run fully consumed: exhausted() is now true
-        stall_ += gate_.wait();
-        std::swap(cur_, pre_);
-        curLen_ = preLen_;
-        preLen_ = 0;
-        pos_ = 0;
-        schedulePrefetch();
-    }
-
-    void
-    schedulePrefetch()
-    {
-        preLen_ = std::min<std::uint64_t>(batch_, end_ - next_);
-        if (preLen_ == 0)
-            return;
-        const std::uint64_t off = next_;
-        next_ += preLen_;
-        gate_.arm();
-        try {
-            reader_->post([this, off] {
-                try {
-                    store_->readAt(off, pre_.data(), preLen_,
-                                   ctx_.c_str());
-                } catch (...) {
-                    gate_.fail(std::current_exception());
-                    return;
-                }
-                gate_.open();
-            });
-        } catch (...) {
-            // Nothing made it in flight: reopen the gate so the
-            // destructor's quiesce wait cannot deadlock.
-            gate_.open();
-            throw;
-        }
-    }
-
-    const io::RunStore<RecordT> *store_;
-    io::BufferPool<RecordT> *pool_;
-    BackgroundWorker *reader_;
-    ErrorTrap *trap_;
-    std::string ctx_;
-    std::uint64_t batch_;
-    std::uint64_t next_; ///< next store offset to fetch
-    std::uint64_t end_;  ///< one past the run's last record
-    std::vector<RecordT> cur_;
-    std::vector<RecordT> pre_;
-    std::uint64_t curLen_ = 0;
-    std::uint64_t preLen_ = 0;
-    std::uint64_t pos_ = 0;
-    io::TaskGate gate_;
-    double stall_ = 0.0;
-};
-
-/**
- * Double-buffered batch writer: push() fills one buffer while the
- * previous one drains to the sink on a background worker.  All writes
- * to a sink funnel through one worker, so they land in push order.
- */
-template <typename RecordT>
-class StreamWriter
-{
-  public:
-    StreamWriter(io::RecordSink<RecordT> &sink,
-                 io::BufferPool<RecordT> &pool, BackgroundWorker &writer,
-                 ErrorTrap *trap = nullptr)
-        : sink_(&sink), pool_(&pool), worker_(&writer), trap_(trap),
-          batch_(pool.batchRecords())
-    {
-        // Acquire in the body: if the second acquire throws, the
-        // destructor will not run, so the first buffer must be
-        // returned here to keep the pool's accounting balanced.
-        cur_ = pool.acquire();
-        try {
-            flight_ = pool.acquire();
-        } catch (...) {
-            pool.release(std::move(cur_));
-            throw;
-        }
-    }
-
-    StreamWriter(const StreamWriter &) = delete;
-    StreamWriter &operator=(const StreamWriter &) = delete;
-
-    ~StreamWriter()
-    {
-        // finish() reports errors on the normal path; a failure seen
-        // only here (unwind) is recorded instead of dropped.
-        try {
-            gate_.wait();
-        } catch (...) {
-            if (trap_ != nullptr)
-                trap_->storeSecondary(std::current_exception());
-        }
-        pool_->release(std::move(cur_));
-        pool_->release(std::move(flight_));
-    }
-
-    void
-    push(const RecordT &rec)
-    {
-        cur_[len_++] = rec;
-        if (len_ == batch_)
-            flushBatch();
-    }
-
-    /** Drain everything to the sink; required before destruction for
-     *  errors to surface (the destructor swallows them). */
-    void
-    finish()
-    {
-        if (len_ > 0)
-            flushBatch();
-        stall_ += gate_.wait();
-    }
-
-    /** Seconds push()/finish() blocked on in-flight write-back. */
-    double stallSeconds() const { return stall_; }
-
-  private:
-    void
-    flushBatch()
-    {
-        stall_ += gate_.wait(); // previous batch must have landed
-        std::swap(cur_, flight_);
-        flightLen_ = len_;
-        len_ = 0;
-        gate_.arm();
-        try {
-            worker_->post([this] {
-                try {
-                    sink_->write(flight_.data(), flightLen_);
-                } catch (...) {
-                    gate_.fail(std::current_exception());
-                    return;
-                }
-                gate_.open();
-            });
-        } catch (...) {
-            // Nothing made it in flight: reopen the gate so later
-            // waits (finish, destructor) cannot deadlock.
-            gate_.open();
-            throw;
-        }
-    }
-
-    io::RecordSink<RecordT> *sink_;
-    io::BufferPool<RecordT> *pool_;
-    BackgroundWorker *worker_;
-    ErrorTrap *trap_;
-    std::uint64_t batch_;
-    std::vector<RecordT> cur_;
-    std::vector<RecordT> flight_;
-    std::uint64_t len_ = 0;
-    std::uint64_t flightLen_ = 0;
-    io::TaskGate gate_;
-    double stall_ = 0.0;
-};
-
-/**
- * Tournament tree over streaming cursors — the out-of-core counterpart
- * of LoserTree, emitting the identical (key, input index, position)
- * augmented order so streamed merges are byte-identical to in-memory
- * ones.
- */
-template <typename RecordT>
-class CursorMerge
-{
-  public:
-    explicit CursorMerge(
-        std::vector<std::unique_ptr<RunCursor<RecordT>>> &cursors)
-        : cursors_(&cursors)
-    {
-        ways_ = 1;
-        while (ways_ < cursors_->size())
-            ways_ *= 2;
-        tree_.assign(ways_, kEmpty);
-        winner_ = buildTournament(1);
-    }
-
-    bool done() const { return winner_ == kEmpty; }
-
-    RecordT
-    pop()
-    {
-        BONSAI_REQUIRE(!done(), "pop from an exhausted cursor merge");
-        const std::size_t src = winner_;
-        RunCursor<RecordT> &cursor = *(*cursors_)[src];
-        const RecordT out = cursor.head();
-        cursor.advance();
-        std::size_t candidate = cursor.exhausted() ? kEmpty : src;
-        for (std::size_t node = (src + ways_) / 2; node >= 1;
-             node /= 2) {
-            if (beats(tree_[node], candidate))
-                std::swap(tree_[node], candidate);
-        }
-        winner_ = candidate;
-        return out;
-    }
-
-  private:
-    static constexpr std::size_t kEmpty =
-        static_cast<std::size_t>(-1);
-
-    const RecordT &
-    head(std::size_t i) const
-    {
-        return (*cursors_)[i]->head();
-    }
-
-    /** Same augmented order as LoserTree::beats: smaller head wins,
-     *  equal keys go to the lower cursor index. */
-    bool
-    beats(std::size_t a, std::size_t b) const
-    {
-        if (a == kEmpty)
-            return false;
-        if (b == kEmpty)
-            return true;
-        if (head(a) < head(b))
-            return true;
-        if (head(b) < head(a))
-            return false;
-        return a < b;
-    }
-
-    std::size_t
-    slotSource(std::size_t slot) const
-    {
-        if (slot < cursors_->size() && !(*cursors_)[slot]->exhausted())
-            return slot;
-        return kEmpty;
-    }
-
-    std::size_t
-    buildTournament(std::size_t node)
-    {
-        if (node >= ways_)
-            return slotSource(node - ways_);
-        const std::size_t left = buildTournament(2 * node);
-        const std::size_t right = buildTournament(2 * node + 1);
-        if (beats(left, right)) {
-            tree_[node] = right;
-            return left;
-        }
-        tree_[node] = left;
-        return right;
-    }
-
-    std::vector<std::unique_ptr<RunCursor<RecordT>>> *cursors_;
-    std::vector<std::size_t> tree_;
-    std::size_t ways_ = 1;
-    std::size_t winner_ = kEmpty;
-};
 
 /** The streaming two-phase sort engine. */
 template <typename RecordT>
@@ -534,10 +149,8 @@ class StreamEngine
         io::RunStore<RecordT> *dst = &back;
         const BehavioralSorter<RecordT> merger(opt_.phase2Ell, 1,
                                                opt_.threads);
-        ThreadPool *merge_pool = &pool;
         while (src->runs().size() > 1) {
-            mergePass(*src, *dst, opt_.phase2Ell, merger, *merge_pool,
-                      stats);
+            mergePass(*src, *dst, opt_.phase2Ell, merger, pool, stats);
             std::swap(src, dst);
             ++stats.mergePasses;
         }
@@ -567,6 +180,41 @@ class StreamEngine
                io::RunStore<RecordT> &front,
                io::RunStore<RecordT> &back) const
     {
+        if (source.totalRecords() == 0) {
+            // Construct no pool: an empty sort succeeds under any
+            // budget, even one too small for a single batch buffer.
+            StreamStats stats;
+            stats.batchRecords = opt_.batchRecords;
+            sink.finish();
+            return stats;
+        }
+        io::BufferPool<RecordT> bufs(opt_.batchRecords,
+                                     opt_.bufferBudgetBytes);
+        return sortStreamShared(source, sink, front, back, bufs,
+                                bufs.buffers(),
+                                /* exclusive_pool = */ true);
+    }
+
+    /**
+     * Shared-pool variant: the same streamed sort against a
+     * caller-owned @p bufs, planning its phase-2 shape against at
+     * most @p allowance of the pool's buffers.  A job's concurrent
+     * holdings never exceed its shape's lanes * (2 ell + 2) <=
+     * allowance buffers, so several jobs whose allowances sum to the
+     * pool supply cannot deadlock each other's blocking acquires —
+     * the contract pipeline::SortService packs concurrent jobs with.
+     * @p exclusive_pool gates the all-buffers-returned postcondition,
+     * which only the pool's sole user may assert.
+     */
+    StreamStats
+    sortStreamShared(io::RecordSource<RecordT> &source,
+                     io::RecordSink<RecordT> &sink,
+                     io::RunStore<RecordT> &front,
+                     io::RunStore<RecordT> &back,
+                     io::BufferPool<RecordT> &bufs,
+                     std::uint64_t allowance,
+                     bool exclusive_pool) const
+    {
         StreamStats stats;
         stats.recordsIn = source.totalRecords();
         stats.batchRecords = opt_.batchRecords;
@@ -575,29 +223,35 @@ class StreamEngine
             return stats;
         }
         ThreadPool pool(opt_.threads);
-        io::BufferPool<RecordT> bufs(opt_.batchRecords,
-                                     opt_.bufferBudgetBytes);
         stats.bufferPoolBytes = bufs.budgetBytes();
-        const Phase2Shape shape = phase2Shape(bufs);
+        const Phase2Shape shape = phase2Shape(
+            std::min<std::uint64_t>(bufs.buffers(), allowance),
+            bufs.budgetBytes(), opt_.phase2Ell, opt_.threads);
         stats.effectiveEll = shape.ell;
         stats.concurrentGroups = shape.lanes;
         // One reader/writer worker pair per lane, so concurrent
-        // groups never serialize their prefetches behind one worker;
-        // lane 0 doubles as the phase-1 spill writer.
+        // groups never serialize their prefetches behind one worker.
         std::vector<std::unique_ptr<Lane>> lanes;
         lanes.reserve(shape.lanes);
         for (unsigned i = 0; i < shape.lanes; ++i)
             lanes.push_back(std::make_unique<Lane>());
 
-        // Sort-wide first-error latch: every cursor, writer and
-        // quiesce path records into this one trap, so the caller sees
-        // exactly one exception no matter how many lanes failed.
+        // Sort-wide first-error latch: every stage, cursor, writer
+        // and quiesce path records into this one trap, so the caller
+        // sees exactly one exception no matter how many lanes failed.
         ErrorTrap trap;
         try {
-            runPhase1(source, front, pool, lanes[0]->writer, stats,
-                      trap);
-            runPhase2(front, back, sink, bufs, lanes, pool, stats,
-                      trap);
+            typename Phase1Spiller<RecordT>::Params p1;
+            p1.phase1Ell = opt_.phase1Ell;
+            p1.presortRun = opt_.presortRun;
+            p1.batchRecords = opt_.batchRecords;
+            p1.threads = opt_.threads;
+            Phase1Spiller<RecordT>::run(source, front, pool, p1,
+                                        chunkLength(stats.recordsIn),
+                                        stats, trap);
+            Phase2Merger<RecordT> merger(bufs, lanes, pool, trap,
+                                         shape.ell);
+            merger.run(front, back, sink, stats);
         } catch (...) {
             trap.store(std::current_exception());
         }
@@ -619,9 +273,10 @@ class StreamEngine
         lastPoolOutstanding_.store(bufs.outstanding(),
                                    std::memory_order_relaxed);
         trap.rethrowIfSet();
-        BONSAI_ENSURE(bufs.outstanding() == 0,
-                      "buffer pool has outstanding buffers after a "
-                      "clean streamed sort");
+        if (exclusive_pool)
+            BONSAI_ENSURE(bufs.outstanding() == 0,
+                          "buffer pool has outstanding buffers after "
+                          "a clean streamed sort");
         return stats;
     }
 
@@ -642,74 +297,6 @@ class StreamEngine
     }
 
   private:
-    /** Per-lane background I/O workers: one phase-2 merge lane owns a
-     *  prefetch thread and a write-back thread for the whole sort. */
-    struct Lane
-    {
-        BackgroundWorker reader;
-        BackgroundWorker writer;
-    };
-
-    /** Stall/move tally of one merge task, accumulated race-free per
-     *  worker and folded into StreamStats under a mutex. */
-    struct GroupTally
-    {
-        std::uint64_t moved = 0;
-        double readStall = 0.0;
-        double writeStall = 0.0;
-    };
-
-    /** Joint phase-2 shape admitted by the Equation-10 pool budget
-     *  b * (2 ell + 2) * W. */
-    struct Phase2Shape
-    {
-        unsigned ell = 2;   ///< effective merge fan-in
-        unsigned lanes = 1; ///< concurrent merge groups / final slices
-    };
-
-    /** Free-lane allocator: group tasks lease a lane for the duration
-     *  of one merge, bounding concurrent pool holdings to
-     *  lanes * (2 ell + 2) buffers no matter how wide the thread pool
-     *  is.  A leaf lock like every other in the tree (see
-     *  common/sync.hpp): the lease mutex is never held while merging
-     *  — only around the free-list push/pop. */
-    class LaneLeases
-    {
-      public:
-        explicit LaneLeases(unsigned lanes)
-        {
-            free_.reserve(lanes);
-            for (unsigned i = 0; i < lanes; ++i)
-                free_.push_back(lanes - 1 - i);
-        }
-
-        unsigned
-        acquire() BONSAI_EXCLUDES(mutex_)
-        {
-            ScopedLock lock(mutex_);
-            while (free_.empty())
-                ready_.wait(mutex_);
-            const unsigned lane = free_.back();
-            free_.pop_back();
-            return lane;
-        }
-
-        void
-        release(unsigned lane) BONSAI_EXCLUDES(mutex_)
-        {
-            {
-                ScopedLock lock(mutex_);
-                free_.push_back(lane);
-            }
-            ready_.notifyOne();
-        }
-
-      private:
-        Mutex mutex_;
-        CondVar ready_;
-        std::vector<unsigned> free_ BONSAI_GUARDED_BY(mutex_);
-    };
-
     std::uint64_t
     chunkLength(std::uint64_t total) const
     {
@@ -739,574 +326,6 @@ class StreamEngine
         return (opt_.bufferBudgetBytes / batch_bytes) * batch_bytes;
     }
 
-    /** Joint (fan-in, lanes) derivation from the pool budget — the
-     *  Equation-10 bound generalized to W concurrent merge units:
-     *  one lane needs 2 buffers per input cursor plus 2 for its
-     *  write-back, so W lanes of fan-in ell fit when
-     *  (2 ell + 2) * W <= buffers().  Fan-in is maximized first (it
-     *  cuts the number of storage round trips, the dominant cost),
-     *  then whatever budget is left admits extra lanes, capped at
-     *  the thread count.  Fails loudly (all build types) when even
-     *  one 2-way lane does not fit — blocking acquire()s would
-     *  otherwise deadlock mid-sort. */
-    Phase2Shape
-    phase2Shape(const io::BufferPool<RecordT> &bufs) const
-    {
-        const std::uint64_t have = bufs.buffers();
-        if (have < 6)
-            contracts::fail(
-                "precondition", "bufs.buffers() >= 6", __FILE__,
-                __LINE__,
-                "buffer pool budget (" +
-                    std::to_string(bufs.budgetBytes()) +
-                    " bytes) holds only " + std::to_string(have) +
-                    " batch buffer(s); a streaming merge needs at "
-                    "least 6 (2 per input run of a 2-way merge + 2 "
-                    "for write-back)");
-        Phase2Shape shape;
-        shape.ell = static_cast<unsigned>(std::min<std::uint64_t>(
-            opt_.phase2Ell, (have - 2) / 2));
-        const std::uint64_t per_lane = 2ULL * shape.ell + 2;
-        shape.lanes = static_cast<unsigned>(std::max<std::uint64_t>(
-            1,
-            std::min<std::uint64_t>(opt_.threads, have / per_lane)));
-        return shape;
-    }
-
-    /** Stream chunks in, sort in place, spill runs — write-back of
-     *  chunk k overlaps the load and sort of chunk k+1. */
-    void
-    runPhase1(io::RecordSource<RecordT> &source,
-              io::RunStore<RecordT> &store, ThreadPool &pool,
-              BackgroundWorker &writer, StreamStats &stats,
-              ErrorTrap &trap) const
-    {
-        const auto t1 = std::chrono::steady_clock::now();
-        const std::uint64_t total = source.totalRecords();
-        const std::uint64_t chunk = chunkLength(total);
-        BehavioralSorter<RecordT> sorter(
-            opt_.phase1Ell, opt_.presortRun, opt_.threads);
-        std::array<std::vector<RecordT>, 2> buf;
-        std::array<io::TaskGate, 2> gate;
-        buf[0].resize(chunk);
-        if (chunk < total)
-            buf[1].resize(chunk);
-        std::vector<RunSpan> runs;
-        try {
-            fillSortSpill(source, store, pool, writer, sorter, buf,
-                          gate, runs, total, chunk, stats);
-            stats.writeStallSeconds += gate[0].wait() + gate[1].wait();
-        } catch (...) {
-            // The writer may still reference buf/gate; quiesce the
-            // in-flight spills before the locals unwind.  A second
-            // failure surfacing here is recorded, not dropped (the
-            // original error stays primary).
-            for (io::TaskGate &g : gate) {
-                try {
-                    g.wait();
-                } catch (...) {
-                    trap.storeSecondary(std::current_exception());
-                }
-            }
-            throw;
-        }
-        // Durability point: a spill the device only buffered is not a
-        // spill phase 2 can trust.
-        store.flush("phase-1 spill flush");
-        stats.phase1Chunks = runs.size();
-        store.setRuns(std::move(runs));
-        stats.phase1Seconds = secondsSince(t1);
-    }
-
-    /** The phase-1 loop body: every path out of here must leave the
-     *  spill gates quiescable by the caller. */
-    void
-    fillSortSpill(io::RecordSource<RecordT> &source,
-                  io::RunStore<RecordT> &store, ThreadPool &pool,
-                  BackgroundWorker &writer,
-                  BehavioralSorter<RecordT> &sorter,
-                  std::array<std::vector<RecordT>, 2> &buf,
-                  std::array<io::TaskGate, 2> &gate,
-                  std::vector<RunSpan> &runs, std::uint64_t total,
-                  std::uint64_t chunk, StreamStats &stats) const
-    {
-        std::uint64_t offset = 0;
-        unsigned slot = 0;
-        while (offset < total) {
-            const std::uint64_t len =
-                std::min<std::uint64_t>(chunk, total - offset);
-            std::vector<RecordT> &cur = buf[slot];
-            // This buffer's previous spill must have landed.
-            stats.writeStallSeconds += gate[slot].wait();
-            std::uint64_t got = 0;
-            while (got < len) {
-                const std::uint64_t r = source.read(
-                    cur.data() + got,
-                    std::min<std::uint64_t>(opt_.batchRecords,
-                                            len - got));
-                if (r == 0)
-                    contracts::fail(
-                        "precondition", "source.read() != 0", __FILE__,
-                        __LINE__,
-                        "record source ended at record " +
-                            std::to_string(offset + got) +
-                            " but declared " + std::to_string(total));
-                io::requireNoTerminals(cur.data() + got, r,
-                                       offset + got);
-                got += r;
-            }
-            const BehavioralStats s = sorter.sort(
-                std::span<RecordT>(cur.data(), len), pool);
-            stats.phase1RecordsMoved += s.recordsMoved;
-            stats.recordsMoved += s.recordsMoved;
-            io::TaskGate *g = &gate[slot];
-            const std::uint64_t off = offset;
-            g->arm();
-            try {
-                writer.post([&store, &cur, g, off, len,
-                             ctx = "phase-1 spill of chunk " +
-                                   std::to_string(runs.size())] {
-                    try {
-                        store.writeAt(off, cur.data(), len,
-                                      ctx.c_str());
-                    } catch (...) {
-                        g->fail(std::current_exception());
-                        return;
-                    }
-                    g->open();
-                });
-            } catch (...) {
-                // Nothing made it in flight: reopen the gate so the
-                // caller's quiesce wait cannot deadlock.
-                g->open();
-                throw;
-            }
-            runs.push_back(RunSpan{offset, len});
-            offset += len;
-            slot ^= 1;
-        }
-    }
-
-    static void
-    foldTally(const GroupTally &t, StreamStats &stats)
-    {
-        stats.recordsMoved += t.moved;
-        stats.readStallSeconds += t.readStall;
-        stats.writeStallSeconds += t.writeStall;
-    }
-
-    /** Merge passes between the stores; the pass that collapses to a
-     *  single run streams into the sink instead.  Non-final passes
-     *  spread independent groups across the merge lanes; the final
-     *  pass is splitter-partitioned across them. */
-    void
-    runPhase2(io::RunStore<RecordT> &front, io::RunStore<RecordT> &back,
-              io::RecordSink<RecordT> &sink,
-              io::BufferPool<RecordT> &bufs,
-              std::vector<std::unique_ptr<Lane>> &lanes,
-              ThreadPool &pool, StreamStats &stats,
-              ErrorTrap &trap) const
-    {
-        const auto t2 = std::chrono::steady_clock::now();
-        const unsigned ell = stats.effectiveEll;
-        io::RunStore<RecordT> *src = &front;
-        io::RunStore<RecordT> *dst = &back;
-        for (;;) {
-            const StagePlan plan(src->runs(), ell);
-            if (plan.groups() == 1) {
-                finalPass(*src, plan.groupRuns(0), sink, bufs, lanes,
-                          pool, stats, trap);
-                ++stats.mergePasses;
-                break;
-            }
-            const std::vector<RunSpan> out = plan.outputRuns();
-            mergePassStreamed(*src, *dst, plan, out, bufs, lanes,
-                              pool, stats, trap);
-            // Durability point: the next pass reads these runs back
-            // assuming they reached the device.
-            dst->flush("phase-2 merge pass flush");
-            ++stats.mergePasses;
-            dst->setRuns(out);
-            src->setRuns({});
-            std::swap(src, dst);
-        }
-        sink.finish();
-        stats.phase2Seconds = secondsSince(t2);
-    }
-
-    /** One non-final pass: independent merge groups are scheduled on
-     *  the thread pool, each leasing one of the W lanes for its I/O
-     *  workers and its share of the buffer budget. */
-    void
-    mergePassStreamed(io::RunStore<RecordT> &src,
-                      io::RunStore<RecordT> &dst, const StagePlan &plan,
-                      const std::vector<RunSpan> &out,
-                      io::BufferPool<RecordT> &bufs,
-                      std::vector<std::unique_ptr<Lane>> &lanes,
-                      ThreadPool &pool, StreamStats &stats,
-                      ErrorTrap &trap) const
-    {
-        std::vector<std::uint64_t> work;
-        for (std::uint64_t g = 0; g < plan.groups(); ++g)
-            if (!plan.groupRuns(g).empty())
-                work.push_back(g);
-        const std::size_t width =
-            std::min<std::size_t>(lanes.size(), work.size());
-        std::vector<GroupTally> tallies(work.size());
-        if (width <= 1) {
-            for (std::size_t i = 0; i < work.size(); ++i)
-                tallies[i] = mergeOneGroup(src, plan, out, work[i],
-                                           dst, bufs, *lanes[0], trap);
-        } else {
-            // parallelFor tasks must not throw (a leaked exception
-            // kills a pool worker), so trap the first error and
-            // rethrow it after the join.  The sort-wide trap keeps
-            // first-error-wins across lanes: one group's failure
-            // propagates, the rest are counted as secondary.
-            LaneLeases leases(static_cast<unsigned>(width));
-            pool.parallelFor(work.size(), [&](std::uint64_t i) {
-                const unsigned lane = leases.acquire();
-                try {
-                    tallies[i] = mergeOneGroup(src, plan, out,
-                                               work[i], dst, bufs,
-                                               *lanes[lane], trap);
-                } catch (...) {
-                    trap.store(std::current_exception());
-                }
-                leases.release(lane);
-            });
-            trap.rethrowIfSet();
-        }
-        for (const GroupTally &t : tallies)
-            foldTally(t, stats);
-    }
-
-    /** Merge (or, for a singleton group, batch-copy) group @p g of
-     *  @p plan into its output run in @p dst. */
-    GroupTally
-    mergeOneGroup(const io::RunStore<RecordT> &src,
-                  const StagePlan &plan,
-                  const std::vector<RunSpan> &out, std::uint64_t g,
-                  io::RunStore<RecordT> &dst,
-                  io::BufferPool<RecordT> &bufs, Lane &lane,
-                  ErrorTrap &trap) const
-    {
-        const std::vector<RunSpan> members = plan.groupRuns(g);
-        const std::string ctx =
-            "phase-2 write-back of merge group " + std::to_string(g);
-        io::RunStoreSink<RecordT> gsink(dst, out[g].offset,
-                                        ctx.c_str());
-        if (members.size() == 1)
-            return copyRun(src, members[0], gsink, bufs, lane.writer,
-                           trap);
-        return mergeGroup(src, members, gsink, bufs, lane.reader,
-                          lane.writer, trap);
-    }
-
-    /** The final pass (one group, streaming to the sink): cut the
-     *  key space into per-lane slices along splitters chosen in the
-     *  augmented (key, run index, position) order and stitch the
-     *  slices into the sink as positioned segments at their exact
-     *  output ranks — byte-identical to the serial tournament for
-     *  any lane count.  Falls back to the serial merge when the
-     *  group is small or the sink cannot take positioned writes. */
-    void
-    finalPass(const io::RunStore<RecordT> &src,
-              const std::vector<RunSpan> &members,
-              io::RecordSink<RecordT> &sink,
-              io::BufferPool<RecordT> &bufs,
-              std::vector<std::unique_ptr<Lane>> &lanes,
-              ThreadPool &pool, StreamStats &stats,
-              ErrorTrap &trap) const
-    {
-        if (members.size() == 1) {
-            stats.finalSlices = 1;
-            foldTally(copyRun(src, members[0], sink, bufs,
-                              lanes[0]->writer, trap),
-                      stats);
-            return;
-        }
-        std::uint64_t total = 0;
-        for (const RunSpan &m : members)
-            total += m.length;
-        // Below ~2 batches per slice the cut overhead outweighs the
-        // parallelism; and without positioned segment support the
-        // slices cannot land concurrently.
-        std::uint64_t slices = std::min<std::uint64_t>(
-            lanes.size(), total / (2 * bufs.batchRecords()));
-        if (!sink.supportsSegments())
-            slices = 1;
-        if (slices <= 1) {
-            stats.finalSlices = 1;
-            foldTally(mergeGroup(src, members, sink, bufs,
-                                 lanes[0]->reader, lanes[0]->writer,
-                                 trap),
-                      stats);
-            return;
-        }
-        const std::vector<std::vector<std::uint64_t>> cuts =
-            sliceCuts(src, members, static_cast<unsigned>(slices),
-                      bufs);
-        // Slice t's first output rank is the sum of its start cuts.
-        std::vector<std::uint64_t> base(slices + 1, 0);
-        for (std::uint64_t t = 0; t <= slices; ++t)
-            for (std::size_t j = 0; j < members.size(); ++j)
-                base[t] += cuts[t][j];
-        BONSAI_ENSURE(base[slices] == total,
-                      "splitter cuts must partition the final group");
-        sink.beginSegments(total);
-        stats.finalSlices = static_cast<unsigned>(slices);
-        std::vector<GroupTally> tallies(slices);
-        pool.parallelFor(slices, [&](std::uint64_t t) {
-            try {
-                // Keep every member — empty sub-spans included — in
-                // member order, so cursor indices (the equal-key tie
-                // break) match the serial tournament's.
-                std::vector<RunSpan> sub;
-                sub.reserve(members.size());
-                for (std::size_t j = 0; j < members.size(); ++j)
-                    sub.push_back(
-                        RunSpan{members[j].offset + cuts[t][j],
-                                cuts[t + 1][j] - cuts[t][j]});
-                io::SegmentSink<RecordT> seg(sink, base[t]);
-                tallies[t] = mergeGroup(src, sub, seg, bufs,
-                                        lanes[t]->reader,
-                                        lanes[t]->writer, trap);
-            } catch (...) {
-                trap.store(std::current_exception());
-            }
-        });
-        trap.rethrowIfSet();
-        for (const GroupTally &t : tallies)
-            foldTally(t, stats);
-    }
-
-    /** Cut matrix for the splitter-partitioned final pass:
-     *  cuts[t][j] = records of member j that precede slice t's start
-     *  in the augmented (key, run index, position) order.  Row 0 is
-     *  all zeros, row `slices` is the member lengths, and rows are
-     *  monotone — consecutive rows delimit disjoint sub-spans whose
-     *  concatenation in t order is exactly the serial tournament
-     *  output (any monotone sequence of consistent cuts is). */
-    std::vector<std::vector<std::uint64_t>>
-    sliceCuts(const io::RunStore<RecordT> &src,
-              const std::vector<RunSpan> &members, unsigned slices,
-              io::BufferPool<RecordT> &bufs) const
-    {
-        struct Sample
-        {
-            RecordT rec;
-            std::size_t j = 0;
-            std::uint64_t pos = 0;
-        };
-        const std::uint64_t batch = bufs.batchRecords();
-        std::uint64_t total = 0;
-        for (const RunSpan &m : members)
-            total += m.length;
-        // Batch-aligned sampling: pivots land on batch heads of
-        // their own run, and every probe is a 1-record readAt.
-        std::uint64_t stride = std::max<std::uint64_t>(
-            batch, total / (std::uint64_t(slices) * 32));
-        stride = ((stride + batch - 1) / batch) * batch;
-        std::vector<Sample> samples;
-        for (std::size_t j = 0; j < members.size(); ++j) {
-            for (std::uint64_t pos = 0; pos < members[j].length;
-                 pos += stride) {
-                Sample s;
-                src.readAt(members[j].offset + pos, &s.rec, 1,
-                           "final-pass splitter sample probe");
-                s.j = j;
-                s.pos = pos;
-                samples.push_back(s);
-            }
-        }
-        std::sort(samples.begin(), samples.end(),
-                  [](const Sample &a, const Sample &b) {
-                      if (a.rec < b.rec)
-                          return true;
-                      if (b.rec < a.rec)
-                          return false;
-                      if (a.j != b.j)
-                          return a.j < b.j;
-                      return a.pos < b.pos;
-                  });
-        std::vector<std::vector<std::uint64_t>> cuts(
-            slices + 1,
-            std::vector<std::uint64_t>(members.size(), 0));
-        for (std::size_t j = 0; j < members.size(); ++j)
-            cuts[slices][j] = members[j].length;
-        std::vector<RecordT> win = bufs.acquire();
-        try {
-            for (unsigned t = 1; t < slices; ++t) {
-                const Sample &pivot =
-                    samples[samples.size() * t / slices];
-                for (std::size_t j = 0; j < members.size(); ++j) {
-                    if (j == pivot.j)
-                        cuts[t][j] = pivot.pos;
-                    else
-                        cuts[t][j] = keyBoundary(src, members[j],
-                                                 pivot.rec,
-                                                 j < pivot.j, win);
-                }
-            }
-        } catch (...) {
-            bufs.release(std::move(win));
-            throw;
-        }
-        bufs.release(std::move(win));
-        return cuts;
-    }
-
-    /** Records of @p m preceding @p pivot in the augmented order,
-     *  found out of core: binary-search the run's batch heads with
-     *  1-record reads, then partition one <= batch window (Merge
-     *  Path's boundary search at batch granularity).  @p equal_before
-     *  encodes the tie rule: true for runs left of the pivot's run
-     *  (equal keys precede the pivot), false for runs right of it. */
-    std::uint64_t
-    keyBoundary(const io::RunStore<RecordT> &src, const RunSpan &m,
-                const RecordT &pivot, bool equal_before,
-                std::vector<RecordT> &win) const
-    {
-        if (m.length == 0)
-            return 0;
-        const auto before = [&](const RecordT &rec) {
-            return equal_before ? !(pivot < rec) : rec < pivot;
-        };
-        const std::uint64_t batch = win.size();
-        const std::uint64_t nb = (m.length + batch - 1) / batch;
-        std::uint64_t lo = 0; // batch heads below lo are `before`
-        std::uint64_t hi = nb;
-        while (lo < hi) {
-            const std::uint64_t mid = lo + (hi - lo) / 2;
-            RecordT head;
-            src.readAt(m.offset + mid * batch, &head, 1,
-                       "final-pass splitter boundary probe");
-            if (before(head))
-                lo = mid + 1;
-            else
-                hi = mid;
-        }
-        if (lo == 0)
-            return 0; // even the first record is past the boundary
-        const std::uint64_t start = (lo - 1) * batch;
-        const std::uint64_t len =
-            std::min<std::uint64_t>(batch, m.length - start);
-        src.readAt(m.offset + start, win.data(), len,
-                   "final-pass splitter boundary window");
-        const RecordT *split = std::partition_point(
-            win.data(), win.data() + len, before);
-        return start + static_cast<std::uint64_t>(split - win.data());
-    }
-
-    /** Singleton-group bypass: a 1-member group needs no tournament —
-     *  batch-copy the run to @p out, the read of batch k overlapping
-     *  the write-back of batch k-1. */
-    GroupTally
-    copyRun(const io::RunStore<RecordT> &src, const RunSpan &run,
-            io::RecordSink<RecordT> &out, io::BufferPool<RecordT> &bufs,
-            BackgroundWorker &writer, ErrorTrap &trap) const
-    {
-        GroupTally tally;
-        const std::uint64_t batch = bufs.batchRecords();
-        const std::string ctx = "batch-copy of run @" +
-                                std::to_string(run.offset) + "+" +
-                                std::to_string(run.length);
-        // First acquire in the initializer, second guarded: if it
-        // throws the first buffer still returns to the pool.
-        std::array<std::vector<RecordT>, 2> buf;
-        buf[0] = bufs.acquire();
-        try {
-            buf[1] = bufs.acquire();
-        } catch (...) {
-            bufs.release(std::move(buf[0]));
-            throw;
-        }
-        std::array<io::TaskGate, 2> gate;
-        std::array<std::uint64_t, 2> len = {0, 0};
-        try {
-            unsigned slot = 0;
-            std::uint64_t done = 0;
-            while (done < run.length) {
-                const std::uint64_t n =
-                    std::min<std::uint64_t>(batch, run.length - done);
-                // This buffer's previous write must have landed.
-                tally.writeStall += gate[slot].wait();
-                src.readAt(run.offset + done, buf[slot].data(), n,
-                           ctx.c_str());
-                len[slot] = n;
-                io::TaskGate *g = &gate[slot];
-                const std::vector<RecordT> *b = &buf[slot];
-                const std::uint64_t *l = &len[slot];
-                g->arm();
-                try {
-                    writer.post([&out, g, b, l] {
-                        try {
-                            out.write(b->data(), *l);
-                        } catch (...) {
-                            g->fail(std::current_exception());
-                            return;
-                        }
-                        g->open();
-                    });
-                } catch (...) {
-                    // Nothing made it in flight: reopen the gate so
-                    // the quiesce below cannot deadlock.
-                    g->open();
-                    throw;
-                }
-                done += n;
-                slot ^= 1;
-            }
-            tally.writeStall += gate[0].wait() + gate[1].wait();
-        } catch (...) {
-            // An in-flight write still references buf; quiesce the
-            // gates before the buffers return to the pool, recording
-            // (not dropping) any second failure behind the first.
-            for (io::TaskGate &g : gate) {
-                try {
-                    g.wait();
-                } catch (...) {
-                    trap.storeSecondary(std::current_exception());
-                }
-            }
-            bufs.release(std::move(buf[0]));
-            bufs.release(std::move(buf[1]));
-            throw;
-        }
-        bufs.release(std::move(buf[0]));
-        bufs.release(std::move(buf[1]));
-        tally.moved = run.length;
-        return tally;
-    }
-
-    /** Stream-merge one group of runs from @p src into @p out. */
-    GroupTally
-    mergeGroup(const io::RunStore<RecordT> &src,
-               const std::vector<RunSpan> &members,
-               io::RecordSink<RecordT> &out,
-               io::BufferPool<RecordT> &bufs, BackgroundWorker &reader,
-               BackgroundWorker &writer, ErrorTrap &trap) const
-    {
-        GroupTally tally;
-        std::vector<std::unique_ptr<RunCursor<RecordT>>> cursors;
-        cursors.reserve(members.size());
-        for (const RunSpan &m : members)
-            cursors.push_back(std::make_unique<RunCursor<RecordT>>(
-                src, m, bufs, reader, &trap));
-        StreamWriter<RecordT> drain(out, bufs, writer, &trap);
-        CursorMerge<RecordT> merge(cursors);
-        while (!merge.done()) {
-            drain.push(merge.pop());
-            ++tally.moved;
-        }
-        drain.finish();
-        for (const auto &c : cursors)
-            tally.readStall += c->stallSeconds();
-        tally.writeStall += drain.stallSeconds();
-        return tally;
-    }
-
     /** One store-to-store merge pass; memory-backed store pairs run
      *  the zero-copy Merge Path kernel instead of streaming. */
     void
@@ -1319,7 +338,8 @@ class StreamEngine
         const std::span<RecordT> d = dst.memorySpan();
         BONSAI_REQUIRE(!s.empty() && !d.empty(),
                        "mergePass needs memory-backed stores; "
-                       "storage-backed passes go through runPhase2");
+                       "storage-backed passes go through the "
+                       "Phase2Merger");
         merger.runStage(plan, {s.data(), s.size()}, d, pool);
         stats.recordsMoved += plan.totalRecords();
         dst.setRuns(plan.outputRuns());

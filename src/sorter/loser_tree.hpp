@@ -1,13 +1,15 @@
 /**
  * @file
- * Tournament (loser) tree for ell-way run merging — the software
- * counterpart of the hardware merge tree, used by the behavioral
- * sorter for GB-scale correctness runs and live CPU measurements.
+ * Tournament (loser) tree for ell-way run merging over in-memory
+ * spans — the software counterpart of the hardware merge tree, used
+ * by the behavioral sorter for GB-scale correctness runs and live CPU
+ * measurements.
  *
- * Standard structure (Knuth TAOCP Vol. 3, 5.4.1): leaves are input
- * cursors, internal nodes store the loser of their subtree's
- * tournament, the overall winner is kept outside the tree.  Each pop
- * replays only the winner's root path: O(log ell) comparisons.
+ * The tree logic itself lives in sorter/tournament.hpp (the one
+ * tournament-tree implementation in the repo, shared with the
+ * out-of-core streamed merge); this class supplies the span cursor
+ * set: per-input [begin, end) positions, optionally range-limited to
+ * a Merge Path slice.
  *
  * Equal keys are broken by input index, so the tree emits the unique
  * sequence ordered by (key, input index, position) — the same
@@ -22,10 +24,13 @@
 #define BONSAI_SORTER_LOSER_TREE_HPP
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/contract.hpp"
+#include "sorter/tournament.hpp"
 
 namespace bonsai::sorter
 {
@@ -48,23 +53,42 @@ class LoserTree
     LoserTree(std::vector<std::span<const RecordT>> inputs,
               std::vector<std::uint64_t> begin,
               std::vector<std::uint64_t> end)
-        : inputs_(std::move(inputs))
+        : cursors_(std::move(inputs), std::move(begin),
+                   std::move(end))
     {
-        BONSAI_REQUIRE(begin.size() == end.size(),
-                       "cursor bound vectors must pair up");
-        BONSAI_REQUIRE(begin.empty() || begin.size() == inputs_.size(),
-                       "one cursor range per input");
-        ways_ = 1;
-        while (ways_ < inputs_.size())
-            ways_ *= 2;
-        if (begin.empty()) {
-            pos_.assign(inputs_.size(), 0);
-            end_.reserve(inputs_.size());
-            for (const auto &in : inputs_)
-                end_.push_back(in.size());
-        } else {
-            pos_.assign(begin.begin(), begin.end());
-            end_.assign(end.begin(), end.end());
+        tree_.emplace(cursors_);
+    }
+
+    /** True when all inputs are exhausted. */
+    bool done() const { return tree_->done(); }
+
+    /** Pop the globally smallest record. */
+    RecordT pop() { return tree_->pop(); }
+
+  private:
+    /** Span cursor set: TournamentTree's view of the inputs. */
+    class SpanCursors
+    {
+      public:
+        SpanCursors(std::vector<std::span<const RecordT>> inputs,
+                    std::vector<std::uint64_t> begin,
+                    std::vector<std::uint64_t> end)
+            : inputs_(std::move(inputs))
+        {
+            BONSAI_REQUIRE(begin.size() == end.size(),
+                           "cursor bound vectors must pair up");
+            BONSAI_REQUIRE(begin.empty() ||
+                               begin.size() == inputs_.size(),
+                           "one cursor range per input");
+            if (begin.empty()) {
+                pos_.assign(inputs_.size(), 0);
+                end_.reserve(inputs_.size());
+                for (const auto &in : inputs_)
+                    end_.push_back(in.size());
+                return;
+            }
+            pos_ = std::move(begin);
+            end_ = std::move(end);
             for (std::size_t i = 0; i < inputs_.size(); ++i) {
                 BONSAI_REQUIRE(pos_[i] <= end_[i],
                                "cursor range must not be inverted");
@@ -72,90 +96,33 @@ class LoserTree
                                "cursor range exceeds its input");
             }
         }
-        tree_.assign(ways_, kEmpty);
-        winner_ = buildTournament(1);
-    }
 
-    /** True when all inputs are exhausted. */
-    bool done() const { return winner_ == kEmpty; }
+        std::size_t size() const { return inputs_.size(); }
 
-    /** Pop the globally smallest record. */
-    RecordT
-    pop()
-    {
-        BONSAI_REQUIRE(!done(), "pop from an exhausted loser tree");
-        const std::size_t src = winner_;
-        const RecordT out = inputs_[src][pos_[src]];
-        ++pos_[src];
-        std::size_t candidate = pos_[src] < end_[src] ? src : kEmpty;
-        // Replay the winner's root path against the stored losers.
-        for (std::size_t node = (src + ways_) / 2; node >= 1;
-             node /= 2) {
-            if (beats(tree_[node], candidate))
-                std::swap(tree_[node], candidate);
+        bool
+        exhausted(std::size_t i) const
+        {
+            return pos_[i] >= end_[i];
         }
-        winner_ = candidate;
-        return out;
-    }
 
-  private:
-    static constexpr std::size_t kEmpty =
-        static_cast<std::size_t>(-1);
-
-    const RecordT &
-    head(std::size_t i) const
-    {
-        return inputs_[i][pos_[i]];
-    }
-
-    /** Does cursor @p a beat cursor @p b?  Smaller head wins; equal
-     *  keys go to the lower input index (augmented order). */
-    bool
-    beats(std::size_t a, std::size_t b) const
-    {
-        if (a == kEmpty)
-            return false;
-        if (b == kEmpty)
-            return true;
-        if (head(a) < head(b))
-            return true;
-        if (head(b) < head(a))
-            return false;
-        return a < b;
-    }
-
-    /** Cursor at leaf slot @p slot, or kEmpty. */
-    std::size_t
-    slotSource(std::size_t slot) const
-    {
-        if (slot < inputs_.size() && pos_[slot] < end_[slot])
-            return slot;
-        return kEmpty;
-    }
-
-    /** Bottom-up initial tournament; returns the subtree winner and
-     *  records losers on the way up. */
-    std::size_t
-    buildTournament(std::size_t node)
-    {
-        if (node >= ways_)
-            return slotSource(node - ways_);
-        const std::size_t left = buildTournament(2 * node);
-        const std::size_t right = buildTournament(2 * node + 1);
-        if (beats(left, right)) {
-            tree_[node] = right;
-            return left;
+        const RecordT &
+        head(std::size_t i) const
+        {
+            return inputs_[i][pos_[i]];
         }
-        tree_[node] = left;
-        return right;
-    }
 
-    std::vector<std::span<const RecordT>> inputs_;
-    std::vector<std::uint64_t> pos_; ///< next unread position
-    std::vector<std::uint64_t> end_; ///< one past the last position
-    std::vector<std::size_t> tree_;  ///< losers, heap-indexed
-    std::size_t ways_ = 1;
-    std::size_t winner_ = kEmpty;
+        void advance(std::size_t i) { ++pos_[i]; }
+
+      private:
+        std::vector<std::span<const RecordT>> inputs_;
+        std::vector<std::uint64_t> pos_; ///< next unread position
+        std::vector<std::uint64_t> end_; ///< one past the last
+    };
+
+    SpanCursors cursors_;
+    /** Built after cursors_ (member order); optional only because the
+     *  tree needs the finished cursor set at construction. */
+    std::optional<TournamentTree<RecordT, SpanCursors>> tree_;
 };
 
 } // namespace bonsai::sorter

@@ -41,6 +41,27 @@
 namespace bonsai::sorter
 {
 
+/**
+ * The augmented-order boundary predicate, stated once for every
+ * Merge Path user (the in-memory partitioner below and the
+ * out-of-core splitter in sorter/splitter.hpp): does @p rec of some
+ * run precede the @p pivot element in the (key, run index, position)
+ * total order?
+ *
+ * @p run_precedes_pivot is the tie rule: true when rec's run index is
+ * lower than the pivot's (j < p — equal keys precede the pivot, so
+ * the boundary is an upper bound), false when it is higher (j > p —
+ * only strictly smaller keys precede, a lower bound).  Positions
+ * within the pivot's own run order themselves; no predicate needed.
+ */
+template <typename RecordT>
+inline bool
+precedesPivot(const RecordT &rec, const RecordT &pivot,
+              bool run_precedes_pivot)
+{
+    return run_precedes_pivot ? !(pivot < rec) : rec < pivot;
+}
+
 template <typename RecordT>
 class MergePath
 {
@@ -132,15 +153,14 @@ class MergePath
             return pp;
         const RecordT &pivot = inputs_[pi][pp];
         const auto &in = inputs_[j];
-        if (j < pi) {
-            // Lower input index wins ties: everything <= pivot's key.
-            return static_cast<std::uint64_t>(
-                std::upper_bound(in.begin(), in.end(), pivot) -
-                in.begin());
-        }
-        // Higher index loses ties: only strictly smaller keys.
+        // The shared tie rule (precedesPivot above) makes this an
+        // upper_bound for j < pi and a lower_bound for j > pi.
         return static_cast<std::uint64_t>(
-            std::lower_bound(in.begin(), in.end(), pivot) -
+            std::partition_point(in.begin(), in.end(),
+                                 [&](const RecordT &rec) {
+                                     return precedesPivot(rec, pivot,
+                                                          j < pi);
+                                 }) -
             in.begin());
     }
 

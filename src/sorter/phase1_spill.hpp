@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Phase 1 of the out-of-core sort as a three-stage dataflow pipeline:
+ *
+ *   chunk reader  ->  chunk sorter  ->  spiller
+ *        ^                                  |
+ *        +------- free chunk-buffer ring ---+
+ *
+ * The reader streams fixed-size chunks from the RecordSource into a
+ * recycled chunk buffer, the sorter sorts each chunk *in place* with
+ * the BehavioralSorter on the engine's compute pool, and the spiller
+ * writes the sorted run to the RunStore and returns the buffer to the
+ * ring.  The ring is seeded with two chunk buffers (one when the
+ * whole input is a single chunk), so resident memory keeps the
+ * engine's historical bound — two chunk buffers plus sort scratch —
+ * while the spill write-back of chunk k overlaps the load and sort of
+ * chunk k+1 (the paper's double-buffered data loader, writ large).
+ *
+ * All edges are pipeline::BoundedQueues run under one
+ * PipelineExecutor: the first failing stage (a short-read contract, a
+ * terminal record in the input, a spill-device error) poisons the
+ * queues and becomes the sort's primary error; the other stages
+ * unwind on PipelineAborted without polluting the secondary-error
+ * tally.  FIFO edges with a single producer and consumer per queue
+ * keep chunks in input order, so runs land at the same offsets, in
+ * the same order, with the same "phase-1 spill of chunk N" error
+ * contexts as the pre-pipeline engine.
+ */
+
+#ifndef BONSAI_SORTER_PHASE1_SPILL_HPP
+#define BONSAI_SORTER_PHASE1_SPILL_HPP
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/run.hpp"
+#include "common/sync.hpp"
+#include "common/thread_pool.hpp"
+#include "io/run_store.hpp"
+#include "io/stream.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/queue.hpp"
+#include "pipeline/stage.hpp"
+#include "sorter/behavioral.hpp"
+#include "sorter/stream_stats.hpp"
+
+namespace bonsai::sorter
+{
+
+template <typename RecordT>
+class Phase1Spiller
+{
+  public:
+    /** Phase-1 knobs, mirrored from StreamEngine::Options. */
+    struct Params
+    {
+        unsigned phase1Ell = 16;
+        std::uint64_t presortRun = 16;
+        std::uint64_t batchRecords = 1 << 14;
+        unsigned threads = 1;
+    };
+
+    /**
+     * Stream chunks of @p chunk records from @p source, sort each in
+     * place on @p compute, and spill the sorted runs to @p store.
+     * Fills the phase-1 fields of @p stats; the primary error of a
+     * failing run lands in @p trap and is rethrown from here once the
+     * pipeline has quiesced.
+     */
+    static void
+    run(io::RecordSource<RecordT> &source,
+        io::RunStore<RecordT> &store, ThreadPool &compute,
+        const Params &par, std::uint64_t chunk, StreamStats &stats,
+        ErrorTrap &trap)
+    {
+        const auto t1 = std::chrono::steady_clock::now();
+        const std::uint64_t total = source.totalRecords();
+
+        pipeline::BoundedQueue<Chunk> free(2);
+        pipeline::BoundedQueue<Chunk> loaded(2);
+        pipeline::BoundedQueue<Chunk> sorted(2);
+        // Seed the ring: one buffer when a single chunk covers the
+        // input, two otherwise (the historical memory bound).
+        {
+            Chunk c;
+            c.buf.resize(chunk);
+            free.push(std::move(c));
+            if (chunk < total) {
+                Chunk d;
+                d.buf.resize(chunk);
+                free.push(std::move(d));
+            }
+        }
+
+        Reader reader(source, free, loaded, par.batchRecords, total,
+                      chunk);
+        Sorter sorter(loaded, sorted, compute, par);
+        Spiller spiller(sorted, free, store);
+        pipeline::Stage *stages[] = {&reader, &sorter, &spiller};
+        const std::vector<pipeline::StageStats> stage_stats =
+            pipeline::PipelineExecutor::run(
+                stages, trap, [&free, &loaded, &sorted] {
+                    free.poison();
+                    loaded.poison();
+                    sorted.poison();
+                });
+        trap.rethrowIfSet();
+
+        stats.phase1RecordsMoved += sorter.recordsMoved();
+        stats.recordsMoved += sorter.recordsMoved();
+        // The reader starving on the buffer ring is the pipeline's
+        // blocked-on-write-back time: a buffer is missing exactly
+        // while its previous spill has not landed.
+        stats.writeStallSeconds += stage_stats[0].inStallSeconds;
+        // Durability point: a spill the device only buffered is not a
+        // spill phase 2 can trust.
+        store.flush("phase-1 spill flush");
+        stats.phase1Chunks = spiller.runs().size();
+        store.setRuns(std::move(spiller).takeRuns());
+        stats.phase1Seconds +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t1)
+                .count();
+    }
+
+  private:
+    /** One chunk in flight: a recycled buffer plus its position. */
+    struct Chunk
+    {
+        std::vector<RecordT> buf;
+        std::uint64_t offset = 0;
+        std::uint64_t len = 0;
+        std::uint64_t index = 0;
+    };
+
+    /** Stage 1: stream records into recycled chunk buffers. */
+    class Reader : public pipeline::Stage
+    {
+      public:
+        Reader(io::RecordSource<RecordT> &source,
+               pipeline::BoundedQueue<Chunk> &free,
+               pipeline::BoundedQueue<Chunk> &loaded,
+               std::uint64_t batch, std::uint64_t total,
+               std::uint64_t chunk)
+            : pipeline::Stage("phase1-reader"), source_(&source),
+              free_(&free), loaded_(&loaded), batch_(batch),
+              total_(total), chunk_(chunk)
+        {
+        }
+
+        void
+        run(pipeline::StageStats &stats) override
+        {
+            std::uint64_t offset = 0;
+            std::uint64_t index = 0;
+            while (offset < total_) {
+                Chunk c = *pipeline::pull(*free_, stats);
+                c.offset = offset;
+                c.len = std::min<std::uint64_t>(chunk_,
+                                                total_ - offset);
+                c.index = index++;
+                fill(c, offset);
+                offset += c.len;
+                pipeline::emit(*loaded_, std::move(c), stats);
+            }
+            loaded_->close();
+        }
+
+      private:
+        void
+        fill(Chunk &c, std::uint64_t offset)
+        {
+            std::uint64_t got = 0;
+            while (got < c.len) {
+                const std::uint64_t r = source_->read(
+                    c.buf.data() + got,
+                    std::min<std::uint64_t>(batch_, c.len - got));
+                if (r == 0)
+                    contracts::fail(
+                        "precondition", "source.read() != 0",
+                        __FILE__, __LINE__,
+                        "record source ended at record " +
+                            std::to_string(offset + got) +
+                            " but declared " + std::to_string(total_));
+                io::requireNoTerminals(c.buf.data() + got, r,
+                                       offset + got);
+                got += r;
+            }
+        }
+
+        io::RecordSource<RecordT> *source_;
+        pipeline::BoundedQueue<Chunk> *free_;
+        pipeline::BoundedQueue<Chunk> *loaded_;
+        std::uint64_t batch_;
+        std::uint64_t total_;
+        std::uint64_t chunk_;
+    };
+
+    /** Stage 2: sort each chunk in place on the compute pool (a
+     *  different pool than the executor's — nested parallelism is
+     *  only banned within one pool). */
+    class Sorter : public pipeline::Stage
+    {
+      public:
+        Sorter(pipeline::BoundedQueue<Chunk> &loaded,
+               pipeline::BoundedQueue<Chunk> &sorted,
+               ThreadPool &compute, const Params &par)
+            : pipeline::Stage("phase1-sorter"), loaded_(&loaded),
+              sorted_(&sorted), compute_(&compute),
+              impl_(par.phase1Ell, par.presortRun, par.threads)
+        {
+        }
+
+        void
+        run(pipeline::StageStats &stats) override
+        {
+            while (auto c = pipeline::pull(*loaded_, stats)) {
+                const BehavioralStats s = impl_.sort(
+                    std::span<RecordT>(c->buf.data(), c->len),
+                    *compute_);
+                moved_ += s.recordsMoved;
+                pipeline::emit(*sorted_, std::move(*c), stats);
+            }
+            sorted_->close();
+        }
+
+        /** In-chunk sort moves, read after the pipeline joins. */
+        std::uint64_t recordsMoved() const { return moved_; }
+
+      private:
+        pipeline::BoundedQueue<Chunk> *loaded_;
+        pipeline::BoundedQueue<Chunk> *sorted_;
+        ThreadPool *compute_;
+        BehavioralSorter<RecordT> impl_;
+        std::uint64_t moved_ = 0;
+    };
+
+    /** Stage 3: spill sorted chunks and recycle their buffers. */
+    class Spiller : public pipeline::Stage
+    {
+      public:
+        Spiller(pipeline::BoundedQueue<Chunk> &sorted,
+                pipeline::BoundedQueue<Chunk> &free,
+                io::RunStore<RecordT> &store)
+            : pipeline::Stage("phase1-spiller"), sorted_(&sorted),
+              free_(&free), store_(&store)
+        {
+        }
+
+        void
+        run(pipeline::StageStats &stats) override
+        {
+            while (auto c = pipeline::pull(*sorted_, stats)) {
+                const std::string ctx =
+                    "phase-1 spill of chunk " +
+                    std::to_string(c->index);
+                store_->writeAt(c->offset, c->buf.data(), c->len,
+                                ctx.c_str());
+                runs_.push_back(RunSpan{c->offset, c->len});
+                pipeline::emit(*free_, std::move(*c), stats);
+            }
+        }
+
+        /** Spilled runs in chunk order (FIFO edges guarantee it). */
+        const std::vector<RunSpan> &runs() const { return runs_; }
+
+        std::vector<RunSpan>
+        takeRuns() &&
+        {
+            return std::move(runs_);
+        }
+
+      private:
+        pipeline::BoundedQueue<Chunk> *sorted_;
+        pipeline::BoundedQueue<Chunk> *free_;
+        io::RunStore<RecordT> *store_;
+        std::vector<RunSpan> runs_;
+    };
+};
+
+} // namespace bonsai::sorter
+
+#endif // BONSAI_SORTER_PHASE1_SPILL_HPP

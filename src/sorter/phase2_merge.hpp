@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Phase-2 merge stage of the out-of-core sort: ell-way merge passes
+ * ping-pong runs between two stores; the pass that collapses to a
+ * single run streams into the sink instead.
+ *
+ * Parallel structure (TopSort-style merge units):
+ *  - non-final passes schedule independent merge groups on up to W
+ *    lanes, each lane owning its own prefetch and write-back workers
+ *    so I/O of concurrent groups does not serialize;
+ *  - the final pass is cut into W key-space slices along splitters
+ *    (sorter/splitter.hpp), each slice merging through its own cursor
+ *    set and landing in the sink as a positioned segment at its exact
+ *    output rank — byte-identical to the serial tournament for any
+ *    lane count, including equal-key floods.
+ *
+ * The tournament itself is the shared kernel in sorter/tournament.hpp
+ * (the same tree LoserTree instantiates over spans), run here over a
+ * set of prefetching RunCursors.
+ */
+
+#ifndef BONSAI_SORTER_PHASE2_MERGE_HPP
+#define BONSAI_SORTER_PHASE2_MERGE_HPP
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/run.hpp"
+#include "common/sync.hpp"
+#include "common/thread_pool.hpp"
+#include "io/buffer_pool.hpp"
+#include "io/run_store.hpp"
+#include "io/stream.hpp"
+#include "sorter/merge_plan.hpp"
+#include "sorter/run_cursor.hpp"
+#include "sorter/splitter.hpp"
+#include "sorter/stage_plan.hpp"
+#include "sorter/stream_stats.hpp"
+#include "sorter/stream_writer.hpp"
+#include "sorter/tournament.hpp"
+
+namespace bonsai::sorter
+{
+
+template <typename RecordT>
+class Phase2Merger
+{
+  public:
+    /**
+     * @param bufs  The sort's bounded buffer pool.
+     * @param lanes Per-lane I/O worker pairs; size bounds both group
+     *        concurrency and final-pass slices.
+     * @param pool  Compute pool the merge tasks are scheduled on.
+     * @param trap  Sort-wide first-error latch.
+     * @param ell   Effective fan-in (already budget-capped).
+     */
+    Phase2Merger(io::BufferPool<RecordT> &bufs,
+                 std::vector<std::unique_ptr<Lane>> &lanes,
+                 ThreadPool &pool, ErrorTrap &trap, unsigned ell)
+        : bufs_(&bufs), lanes_(&lanes), pool_(&pool), trap_(&trap),
+          ell_(ell)
+    {
+    }
+
+    /** Merge passes from @p front/@p back into @p sink; fills the
+     *  phase-2 fields of @p stats. */
+    void
+    run(io::RunStore<RecordT> &front, io::RunStore<RecordT> &back,
+        io::RecordSink<RecordT> &sink, StreamStats &stats)
+    {
+        const auto t2 = std::chrono::steady_clock::now();
+        io::RunStore<RecordT> *src = &front;
+        io::RunStore<RecordT> *dst = &back;
+        for (;;) {
+            const StagePlan plan(src->runs(), ell_);
+            if (plan.groups() == 1) {
+                finalPass(*src, plan.groupRuns(0), sink, stats);
+                ++stats.mergePasses;
+                break;
+            }
+            const std::vector<RunSpan> out = plan.outputRuns();
+            mergePassStreamed(*src, *dst, plan, out, stats);
+            // Durability point: the next pass reads these runs back
+            // assuming they reached the device.
+            dst->flush("phase-2 merge pass flush");
+            ++stats.mergePasses;
+            dst->setRuns(out);
+            src->setRuns({});
+            std::swap(src, dst);
+        }
+        sink.finish();
+        stats.phase2Seconds +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t2)
+                .count();
+    }
+
+  private:
+    /** TournamentTree's view of a set of streaming run cursors. */
+    class CursorSet
+    {
+      public:
+        explicit CursorSet(
+            std::vector<std::unique_ptr<RunCursor<RecordT>>> &cursors)
+            : cursors_(&cursors)
+        {
+        }
+
+        std::size_t size() const { return cursors_->size(); }
+
+        bool
+        exhausted(std::size_t i) const
+        {
+            return (*cursors_)[i]->exhausted();
+        }
+
+        const RecordT &
+        head(std::size_t i) const
+        {
+            return (*cursors_)[i]->head();
+        }
+
+        void advance(std::size_t i) { (*cursors_)[i]->advance(); }
+
+      private:
+        std::vector<std::unique_ptr<RunCursor<RecordT>>> *cursors_;
+    };
+
+    static void
+    foldTally(const GroupTally &t, StreamStats &stats)
+    {
+        stats.recordsMoved += t.moved;
+        stats.readStallSeconds += t.readStall;
+        stats.writeStallSeconds += t.writeStall;
+    }
+
+    /** One non-final pass: independent merge groups are scheduled on
+     *  the thread pool, each leasing one of the W lanes for its I/O
+     *  workers and its share of the buffer budget. */
+    void
+    mergePassStreamed(io::RunStore<RecordT> &src,
+                      io::RunStore<RecordT> &dst, const StagePlan &plan,
+                      const std::vector<RunSpan> &out,
+                      StreamStats &stats)
+    {
+        std::vector<std::uint64_t> work;
+        for (std::uint64_t g = 0; g < plan.groups(); ++g)
+            if (!plan.groupRuns(g).empty())
+                work.push_back(g);
+        const std::size_t width =
+            std::min<std::size_t>(lanes_->size(), work.size());
+        std::vector<GroupTally> tallies(work.size());
+        if (width <= 1) {
+            for (std::size_t i = 0; i < work.size(); ++i)
+                tallies[i] = mergeOneGroup(src, plan, out, work[i],
+                                           dst, *(*lanes_)[0]);
+        } else {
+            // parallelFor tasks must not throw (a leaked exception
+            // kills a pool worker), so trap the first error and
+            // rethrow it after the join.  The sort-wide trap keeps
+            // first-error-wins across lanes: one group's failure
+            // propagates, the rest are counted as secondary.
+            LaneLeases leases(static_cast<unsigned>(width));
+            pool_->parallelFor(work.size(), [&](std::uint64_t i) {
+                const unsigned lane = leases.acquire();
+                try {
+                    tallies[i] =
+                        mergeOneGroup(src, plan, out, work[i], dst,
+                                      *(*lanes_)[lane]);
+                } catch (...) {
+                    trap_->store(std::current_exception());
+                }
+                leases.release(lane);
+            });
+            trap_->rethrowIfSet();
+        }
+        for (const GroupTally &t : tallies)
+            foldTally(t, stats);
+    }
+
+    /** Merge (or, for a singleton group, batch-copy) group @p g of
+     *  @p plan into its output run in @p dst. */
+    GroupTally
+    mergeOneGroup(const io::RunStore<RecordT> &src,
+                  const StagePlan &plan,
+                  const std::vector<RunSpan> &out, std::uint64_t g,
+                  io::RunStore<RecordT> &dst, Lane &lane)
+    {
+        const std::vector<RunSpan> members = plan.groupRuns(g);
+        const std::string ctx =
+            "phase-2 write-back of merge group " + std::to_string(g);
+        io::RunStoreSink<RecordT> gsink(dst, out[g].offset,
+                                        ctx.c_str());
+        if (members.size() == 1)
+            return copyRun(src, members[0], gsink, lane.writer);
+        return mergeGroup(src, members, gsink, lane.reader,
+                          lane.writer);
+    }
+
+    /** The final pass (one group, streaming to the sink): cut the
+     *  key space into per-lane slices along splitters chosen in the
+     *  augmented (key, run index, position) order and stitch the
+     *  slices into the sink as positioned segments at their exact
+     *  output ranks.  Falls back to the serial merge when the group
+     *  is small or the sink cannot take positioned writes. */
+    void
+    finalPass(const io::RunStore<RecordT> &src,
+              const std::vector<RunSpan> &members,
+              io::RecordSink<RecordT> &sink, StreamStats &stats)
+    {
+        if (members.size() == 1) {
+            stats.finalSlices = 1;
+            foldTally(copyRun(src, members[0], sink,
+                              (*lanes_)[0]->writer),
+                      stats);
+            return;
+        }
+        std::uint64_t total = 0;
+        for (const RunSpan &m : members)
+            total += m.length;
+        // Below ~2 batches per slice the cut overhead outweighs the
+        // parallelism; and without positioned segment support the
+        // slices cannot land concurrently.
+        std::uint64_t slices = std::min<std::uint64_t>(
+            lanes_->size(), total / (2 * bufs_->batchRecords()));
+        if (!sink.supportsSegments())
+            slices = 1;
+        if (slices <= 1) {
+            stats.finalSlices = 1;
+            foldTally(mergeGroup(src, members, sink,
+                                 (*lanes_)[0]->reader,
+                                 (*lanes_)[0]->writer),
+                      stats);
+            return;
+        }
+        const std::vector<std::vector<std::uint64_t>> cuts =
+            finalSliceCuts(src, members,
+                           static_cast<unsigned>(slices), *bufs_);
+        // Slice t's first output rank is the sum of its start cuts.
+        std::vector<std::uint64_t> base(slices + 1, 0);
+        for (std::uint64_t t = 0; t <= slices; ++t)
+            for (std::size_t j = 0; j < members.size(); ++j)
+                base[t] += cuts[t][j];
+        BONSAI_ENSURE(base[slices] == total,
+                      "splitter cuts must partition the final group");
+        sink.beginSegments(total);
+        stats.finalSlices = static_cast<unsigned>(slices);
+        std::vector<GroupTally> tallies(slices);
+        pool_->parallelFor(slices, [&](std::uint64_t t) {
+            try {
+                // Keep every member — empty sub-spans included — in
+                // member order, so cursor indices (the equal-key tie
+                // break) match the serial tournament's.
+                std::vector<RunSpan> sub;
+                sub.reserve(members.size());
+                for (std::size_t j = 0; j < members.size(); ++j)
+                    sub.push_back(
+                        RunSpan{members[j].offset + cuts[t][j],
+                                cuts[t + 1][j] - cuts[t][j]});
+                io::SegmentSink<RecordT> seg(sink, base[t]);
+                tallies[t] =
+                    mergeGroup(src, sub, seg, (*lanes_)[t]->reader,
+                               (*lanes_)[t]->writer);
+            } catch (...) {
+                trap_->store(std::current_exception());
+            }
+        });
+        trap_->rethrowIfSet();
+        for (const GroupTally &t : tallies)
+            foldTally(t, stats);
+    }
+
+    /** Singleton-group bypass: a 1-member group needs no tournament —
+     *  batch-copy the run to @p out, the read of batch k overlapping
+     *  the write-back of batch k-1. */
+    GroupTally
+    copyRun(const io::RunStore<RecordT> &src, const RunSpan &run,
+            io::RecordSink<RecordT> &out, BackgroundWorker &writer)
+    {
+        GroupTally tally;
+        const std::uint64_t batch = bufs_->batchRecords();
+        const std::string ctx = "batch-copy of run @" +
+                                std::to_string(run.offset) + "+" +
+                                std::to_string(run.length);
+        // First acquire in the initializer, second guarded: if it
+        // throws the first buffer still returns to the pool.
+        std::array<std::vector<RecordT>, 2> buf;
+        buf[0] = bufs_->acquire();
+        try {
+            buf[1] = bufs_->acquire();
+        } catch (...) {
+            bufs_->release(std::move(buf[0]));
+            throw;
+        }
+        std::array<io::TaskGate, 2> gate;
+        std::array<std::uint64_t, 2> len = {0, 0};
+        try {
+            unsigned slot = 0;
+            std::uint64_t done = 0;
+            while (done < run.length) {
+                const std::uint64_t n =
+                    std::min<std::uint64_t>(batch, run.length - done);
+                // This buffer's previous write must have landed.
+                tally.writeStall += gate[slot].wait();
+                src.readAt(run.offset + done, buf[slot].data(), n,
+                           ctx.c_str());
+                len[slot] = n;
+                io::TaskGate *g = &gate[slot];
+                const std::vector<RecordT> *b = &buf[slot];
+                const std::uint64_t *l = &len[slot];
+                g->arm();
+                try {
+                    writer.post([&out, g, b, l] {
+                        try {
+                            out.write(b->data(), *l);
+                        } catch (...) {
+                            g->fail(std::current_exception());
+                            return;
+                        }
+                        g->open();
+                    });
+                } catch (...) {
+                    // Nothing made it in flight: reopen the gate so
+                    // the quiesce below cannot deadlock.
+                    g->open();
+                    throw;
+                }
+                done += n;
+                slot ^= 1;
+            }
+            tally.writeStall += gate[0].wait() + gate[1].wait();
+        } catch (...) {
+            // An in-flight write still references buf; quiesce the
+            // gates before the buffers return to the pool, recording
+            // (not dropping) any second failure behind the first.
+            for (io::TaskGate &g : gate) {
+                try {
+                    g.wait();
+                } catch (...) {
+                    trap_->storeSecondary(std::current_exception());
+                }
+            }
+            bufs_->release(std::move(buf[0]));
+            bufs_->release(std::move(buf[1]));
+            throw;
+        }
+        bufs_->release(std::move(buf[0]));
+        bufs_->release(std::move(buf[1]));
+        tally.moved = run.length;
+        return tally;
+    }
+
+    /** Stream-merge one group of runs from @p src into @p out via
+     *  the shared tournament kernel. */
+    GroupTally
+    mergeGroup(const io::RunStore<RecordT> &src,
+               const std::vector<RunSpan> &members,
+               io::RecordSink<RecordT> &out, BackgroundWorker &reader,
+               BackgroundWorker &writer)
+    {
+        GroupTally tally;
+        std::vector<std::unique_ptr<RunCursor<RecordT>>> cursors;
+        cursors.reserve(members.size());
+        for (const RunSpan &m : members)
+            cursors.push_back(std::make_unique<RunCursor<RecordT>>(
+                src, m, *bufs_, reader, trap_));
+        StreamWriter<RecordT> drain(out, *bufs_, writer, trap_);
+        CursorSet set(cursors);
+        TournamentTree<RecordT, CursorSet> merge(set);
+        while (!merge.done()) {
+            drain.push(merge.pop());
+            ++tally.moved;
+        }
+        drain.finish();
+        for (const auto &c : cursors)
+            tally.readStall += c->stallSeconds();
+        tally.writeStall += drain.stallSeconds();
+        return tally;
+    }
+
+    io::BufferPool<RecordT> *bufs_;
+    std::vector<std::unique_ptr<Lane>> *lanes_;
+    ThreadPool *pool_;
+    ErrorTrap *trap_;
+    unsigned ell_;
+};
+
+} // namespace bonsai::sorter
+
+#endif // BONSAI_SORTER_PHASE2_MERGE_HPP

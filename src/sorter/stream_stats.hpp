@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unified telemetry of a streamed (or adapted in-memory) sort, shared
+ * by SortReport and SsdReport so benches compare backends uniformly.
+ *
+ * Extracted from the stream-engine monolith; see sorter/external.hpp
+ * for the engine facade and docs/ARCHITECTURE.md for the module map
+ * of the decomposed streaming layer.
+ */
+
+#ifndef BONSAI_SORTER_STREAM_STATS_HPP
+#define BONSAI_SORTER_STREAM_STATS_HPP
+
+#include <cstdint>
+
+namespace bonsai::sorter
+{
+
+struct StreamStats
+{
+    std::uint64_t recordsIn = 0;
+    std::uint64_t recordsMoved = 0;       ///< total, both phases
+    std::uint64_t phase1RecordsMoved = 0; ///< in-chunk sort moves only
+    std::uint64_t phase1Chunks = 0;
+    std::uint64_t spillBytesWritten = 0; ///< run-store write traffic
+    std::uint64_t spillBytesRead = 0;    ///< run-store read traffic
+    unsigned mergePasses = 0;  ///< phase-2 storage round trips
+    unsigned effectiveEll = 0; ///< fan-in after the buffer budget cap
+    /** Phase-2 merge lanes the budget admits: groups merged
+     *  concurrently in non-final passes (1 = serial fallback). */
+    unsigned concurrentGroups = 0;
+    /** Splitter slices the final pass actually merged with (1 =
+     *  serial tournament). */
+    unsigned finalSlices = 0;
+    std::uint64_t batchRecords = 0;    ///< streaming batch size b
+    std::uint64_t bufferPoolBytes = 0; ///< bounded pool budget
+    /** High-water pool usage (streamed path only; 0 for the
+     *  zero-copy in-memory adapter, which holds no pool buffers). */
+    std::uint64_t bufferPoolPeakBytes = 0;
+    double phase1Seconds = 0.0;
+    double phase2Seconds = 0.0;
+    /** Stall seconds are summed across all phase-2 workers (per-
+     *  worker accounting), so with several lanes they may exceed the
+     *  phase wall clock. */
+    double readStallSeconds = 0.0;  ///< merge blocked on prefetch
+    double writeStallSeconds = 0.0; ///< blocked on write-back
+    /** Spill-store I/O hardening counters (front + back stores; the
+     *  output sink's own device is not visible to the engine). */
+    std::uint64_t ioTransientRetries = 0; ///< EIO/EAGAIN retried
+    std::uint64_t ioEintrRetries = 0;     ///< interrupted, retried
+    std::uint64_t ioShortTransfers = 0;   ///< partial, resumed
+    /** Errors suppressed behind the first (propagated) one. */
+    std::uint64_t secondaryErrors = 0;
+
+    friend bool operator==(const StreamStats &,
+                           const StreamStats &) = default;
+};
+
+} // namespace bonsai::sorter
+
+#endif // BONSAI_SORTER_STREAM_STATS_HPP

@@ -1,0 +1,126 @@
+/** @file
+ * Unit tests for the PipelineExecutor: stage wiring preserves item
+ * order end to end, per-stage telemetry is index-aligned and counts
+ * traffic, and a failing stage unwinds the whole pipeline with
+ * first-error-wins semantics and zero outstanding pool buffers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "io/buffer_pool.hpp"
+#include "io/pool_lease.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/queue.hpp"
+#include "pipeline/stage.hpp"
+
+namespace bonsai::pipeline
+{
+namespace
+{
+
+TEST(PipelineExecutor, StagesPreserveItemOrderEndToEnd)
+{
+    // source -> double -> collect over two bounded edges; the FIFO
+    // edges and one-thread-per-stage scheduling must deliver every
+    // item, in order, no matter how the stage speeds interleave.
+    BoundedQueue<std::uint64_t> raw(2);
+    BoundedQueue<std::uint64_t> doubled(2);
+    std::vector<std::uint64_t> out;
+
+    FnStage source("source", [&raw](StageStats &stats) {
+        for (std::uint64_t i = 0; i < 100; ++i)
+            emit(raw, std::uint64_t(i), stats);
+        raw.close();
+    });
+    FnStage transform("double", [&raw, &doubled](StageStats &stats) {
+        while (const auto item = pull(raw, stats))
+            emit(doubled, *item * 2, stats);
+        doubled.close();
+    });
+    FnStage collect("collect", [&doubled, &out](StageStats &stats) {
+        while (const auto item = pull(doubled, stats))
+            out.push_back(*item);
+    });
+
+    Stage *stages[] = {&source, &transform, &collect};
+    ErrorTrap trap;
+    const std::vector<StageStats> stats =
+        PipelineExecutor::run(stages, trap, [] {});
+    trap.rethrowIfSet(); // must be a no-op on the clean path
+
+    ASSERT_EQ(out.size(), 100u);
+    for (std::uint64_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], 2 * i);
+
+    ASSERT_EQ(stats.size(), 3u);
+    EXPECT_EQ(stats[0].name, "source");
+    EXPECT_EQ(stats[1].name, "double");
+    EXPECT_EQ(stats[2].name, "collect");
+    EXPECT_EQ(stats[0].itemsOut, 100u);
+    EXPECT_EQ(stats[1].itemsIn, 100u);
+    EXPECT_EQ(stats[1].itemsOut, 100u);
+    EXPECT_EQ(stats[2].itemsIn, 100u);
+}
+
+TEST(PipelineExecutor, FirstErrorUnwindsWithZeroOutstandingBuffers)
+{
+    // A consumer that dies mid-stream while the producer is blocked
+    // holding pool-backed items: the error must land in the trap as
+    // the sole primary (abort echoes are not secondary errors), and
+    // every pool buffer must be back — whether it was held by a
+    // stage local, in flight in a queue, or stranded by the poison.
+    io::BufferPool<std::uint64_t> pool(
+        16, 4 * 16 * sizeof(std::uint64_t)); // 4 buffers
+    BoundedQueue<io::PoolLease<std::uint64_t>> q(2);
+
+    FnStage source("source", [&q, &pool](StageStats &stats) {
+        for (int i = 0; i < 50; ++i) {
+            io::PoolLease<std::uint64_t> lease(pool);
+            lease.setLength(1);
+            emit(q, std::move(lease), stats);
+        }
+        q.close();
+    });
+    FnStage consumer("consumer", [&q](StageStats &stats) {
+        int seen = 0;
+        while (const auto item = pull(q, stats)) {
+            if (++seen == 3)
+                throw std::runtime_error("injected stage fault");
+        }
+    });
+
+    Stage *stages[] = {&source, &consumer};
+    ErrorTrap trap;
+    PipelineExecutor::run(stages, trap, [&q] { q.poison(); });
+
+    std::string msg;
+    try {
+        trap.rethrowIfSet();
+    } catch (const std::runtime_error &e) {
+        msg = e.what();
+    }
+    EXPECT_EQ(msg, "injected stage fault");
+    EXPECT_EQ(pool.outstanding(), 0u)
+        << "pipeline unwind leaked pool buffers";
+    EXPECT_EQ(trap.secondaryCount(), 0u)
+        << "abort echoes must not count as secondary errors";
+}
+
+TEST(PipelineExecutor, EmptyStageListIsANoOp)
+{
+    ErrorTrap trap;
+    const std::vector<StageStats> stats =
+        PipelineExecutor::run({}, trap, [] {});
+    EXPECT_TRUE(stats.empty());
+}
+
+} // namespace
+} // namespace bonsai::pipeline
