@@ -7,7 +7,9 @@
  *   file_sorter sort <in> <out> [--threads N]  Bonsai-sort a record file
  *   file_sorter ssdsort <in> <out>             in-memory two-phase sort
  *   file_sorter extsort <in> <out> [--budget-mb N]
+ *                       [--checkpoint-dir D] [--resume]
  *                                              out-of-core streamed sort
+ *   file_sorter checkpoint-status <dir>        inspect a job manifest
  *   file_sorter validate <file>                valsort-style check
  *
  * Records on disk use the Jim Gray sort-benchmark layout (10-byte key,
@@ -19,6 +21,14 @@
  * with resident memory bounded by --budget-mb (default 64), so it
  * sorts files far larger than the budget — its output is byte-for-byte
  * the file `ssdsort` produces.
+ *
+ * With --checkpoint-dir, extsort runs crash-consistently: spills and
+ * a durable job manifest live under the given directory, and a rerun
+ * of the identical command after a crash (add --resume to *require*
+ * a valid checkpoint) picks up from the last committed chunk or merge
+ * pass.  The job directory is cleaned once the output is durable.
+ * `checkpoint-status` prints a one-line summary of a job directory's
+ * manifest (used by the crash-recovery CI job to stage its kills).
  */
 
 #include <cstdio>
@@ -26,10 +36,12 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <string>
 #include <unordered_map>
 
 #include "common/gensort.hpp"
 #include "io/byte_io.hpp"
+#include "io/manifest.hpp"
 #include "io/stream.hpp"
 #include "sorter/sorters.hpp"
 
@@ -127,7 +139,8 @@ cmdSsdSort(const char *in_path, const char *out_path, unsigned threads)
 
 int
 cmdExtSort(const char *in_path, const char *out_path, unsigned threads,
-           std::uint64_t budget_mb)
+           std::uint64_t budget_mb, const std::string &checkpoint_dir,
+           bool resume)
 {
     io::FileSource<GensortRecord> source(io::ByteFile::openRead(in_path));
     io::FileSink<GensortRecord> sink(io::ByteFile::create(out_path));
@@ -136,15 +149,32 @@ cmdExtSort(const char *in_path, const char *out_path, unsigned threads,
                 static_cast<unsigned long long>(source.totalRecords()),
                 static_cast<unsigned long long>(budget_mb), threads,
                 threads == 1 ? "" : "s");
+    if (!checkpoint_dir.empty())
+        std::printf("checkpointing to %s%s\n", checkpoint_dir.c_str(),
+                    resume ? " (resume required)" : "");
 
     sorter::SsdSorter sorter;
     sorter.setThreads(threads);
     sorter::SsdSorter::StreamOptions opts;
     opts.memoryBudgetBytes = budget_mb << 20;
+    opts.checkpointDir = checkpoint_dir;
+    opts.resume = resume;
     const auto report = sorter.sortStream(source, sink,
                                           GensortRecord::kBytes, opts);
 
     const auto &s = report.stream;
+    if (!s.resumeFallback.empty())
+        std::printf("resume fallback: %s\n", s.resumeFallback.c_str());
+    if (s.resumedChunks + s.resumedPasses > 0)
+        std::printf("resume: skipped %llu chunk spill(s) and %llu "
+                    "merge pass(es) committed by the previous "
+                    "attempt\n",
+                    static_cast<unsigned long long>(s.resumedChunks),
+                    static_cast<unsigned long long>(s.resumedPasses));
+    if (s.manifestCommits > 0)
+        std::printf("checkpoint: %llu manifest commit(s)\n",
+                    static_cast<unsigned long long>(
+                        s.manifestCommits));
     std::printf("phase 1: %llu chunk(s) spilled in %.1f ms\n",
                 static_cast<unsigned long long>(s.phase1Chunks),
                 s.phase1Seconds * 1e3);
@@ -176,7 +206,31 @@ cmdExtSort(const char *in_path, const char *out_path, unsigned threads,
                     s.ioEintrRetries == 1 ? "y" : "ies",
                     static_cast<unsigned long long>(s.ioShortTransfers),
                     static_cast<unsigned long long>(s.secondaryErrors));
+    if (!checkpoint_dir.empty()) {
+        // The output is durable (FileSink::finish synced file and
+        // directory); the checkpoint has served its purpose.
+        io::removeJobArtifacts(checkpoint_dir);
+        std::printf("cleaned job directory %s\n",
+                    checkpoint_dir.c_str());
+    }
     std::printf("wrote %s\n", out_path);
+    return 0;
+}
+
+int
+cmdCheckpointStatus(const char *dir)
+{
+    const io::ManifestLoadResult r = io::loadManifest(dir);
+    if (r.status != io::ManifestStatus::Ok) {
+        std::fprintf(stderr, "file_sorter: %s\n", r.error.c_str());
+        return 1;
+    }
+    const io::JobManifest &m = r.manifest;
+    std::printf("chunks=%llu phase1=%d passes=%u runs=%zu store=%s\n",
+                static_cast<unsigned long long>(m.chunksDone),
+                m.phase1Complete ? 1 : 0, m.passesDone,
+                m.runs.size(),
+                m.currentStore == 0 ? "front" : "back");
     return 0;
 }
 
@@ -225,10 +279,12 @@ cmdValidate(const char *path)
 int
 run(int argc, char **argv)
 {
-    // Strip the optional "--threads N" / "--budget-mb N" pairs from
-    // anywhere in argv.
+    // Strip the optional "--threads N" / "--budget-mb N" /
+    // "--checkpoint-dir D" / "--resume" flags from anywhere in argv.
     unsigned threads = 1;
     std::uint64_t budget_mb = 64;
+    std::string checkpoint_dir;
+    bool resume = false;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
@@ -242,6 +298,13 @@ run(int argc, char **argv)
             budget_mb = std::strtoull(argv[++i], nullptr, 10);
         else if (std::strncmp(argv[i], "--budget-mb=", 12) == 0)
             budget_mb = std::strtoull(argv[i] + 12, nullptr, 10);
+        else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 &&
+                 i + 1 < argc)
+            checkpoint_dir = argv[++i];
+        else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0)
+            checkpoint_dir = argv[i] + 17;
+        else if (std::strcmp(argv[i], "--resume") == 0)
+            resume = true;
         else
             args.push_back(argv[i]);
     }
@@ -254,16 +317,21 @@ run(int argc, char **argv)
     if (nargs >= 4 && std::strcmp(args[1], "ssdsort") == 0)
         return cmdSsdSort(args[2], args[3], threads);
     if (nargs >= 4 && std::strcmp(args[1], "extsort") == 0)
-        return cmdExtSort(args[2], args[3], threads, budget_mb);
+        return cmdExtSort(args[2], args[3], threads, budget_mb,
+                          checkpoint_dir, resume);
+    if (nargs >= 3 &&
+        std::strcmp(args[1], "checkpoint-status") == 0)
+        return cmdCheckpointStatus(args[2]);
     if (nargs >= 3 && std::strcmp(args[1], "validate") == 0)
         return cmdValidate(args[2]);
 
     // No arguments: run the whole workflow on a temporary file as a
     // self-demonstration.
     std::printf("usage: file_sorter [--threads N] [--budget-mb N] "
+                "[--checkpoint-dir D] [--resume] "
                 "gen <records> <file> | sort <in> <out> | "
                 "ssdsort <in> <out> | extsort <in> <out> | "
-                "validate <file>\n");
+                "checkpoint-status <dir> | validate <file>\n");
     std::printf("\nrunning self-demo with 100,000 records...\n");
     cmdGen(100'000, "/tmp/bonsai_demo.dat");
     cmdSort("/tmp/bonsai_demo.dat", "/tmp/bonsai_demo.sorted", threads);

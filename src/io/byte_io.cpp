@@ -138,6 +138,15 @@ ByteFile::create(const std::string &path)
 }
 
 ByteFile
+ByteFile::openReadWrite(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0)
+        throwErrno("open for read/write failed", path);
+    return ByteFile(fd, path);
+}
+
+ByteFile
 ByteFile::createTemp(const std::string &dir)
 {
     std::string base = stripTrailingSlashes(dir);
@@ -370,6 +379,81 @@ ByteFile::sizeBytes() const
     if (::fstat(fd_, &st) != 0)
         throwErrno("fstat failed", path_);
     return static_cast<std::uint64_t>(st.st_size);
+}
+
+void
+syncDirectory(const std::string &dir)
+{
+    const std::string target = dir.empty() ? "." : dir;
+    const int fd = ::open(target.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        throwErrno("open directory for fsync failed", target);
+    int rc;
+    do {
+        rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    const int err = errno;
+    ::close(fd);
+    if (rc != 0) {
+        errno = err;
+        throwErrno("directory fsync failed", target);
+    }
+}
+
+void
+syncParentDirectory(const std::string &path)
+{
+    if (path.empty())
+        return;
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos) {
+        syncDirectory(".");
+        return;
+    }
+    syncDirectory(slash == 0 ? "/" : path.substr(0, slash));
+}
+
+void
+createDirectories(const std::string &dir)
+{
+    if (dir.empty())
+        return;
+    const std::string target = stripTrailingSlashes(dir);
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+        pos = target.find('/', pos + 1);
+        const std::string prefix =
+            pos == std::string::npos ? target : target.substr(0, pos);
+        if (prefix.empty())
+            continue;
+        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+            throwErrno("mkdir failed", prefix);
+    }
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st = {};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+bool
+removeFileIfExists(const std::string &path)
+{
+    if (::unlink(path.c_str()) == 0)
+        return true;
+    if (errno == ENOENT)
+        return false;
+    throwErrno("unlink failed", path);
+}
+
+void
+renameReplace(const std::string &from, const std::string &to)
+{
+    if (::rename(from.c_str(), to.c_str()) != 0)
+        throwErrno("rename failed", from + " -> " + to);
+    syncParentDirectory(to);
 }
 
 } // namespace bonsai::io

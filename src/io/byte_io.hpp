@@ -98,6 +98,14 @@ class ByteFile
     static ByteFile create(const std::string &path);
 
     /**
+     * Open (creating if absent, never truncating) a file for reading
+     * and writing.  This is the resume-mode open: a persistent spill
+     * file keeps whatever bytes a previous attempt already made
+     * durable.
+     */
+    static ByteFile openReadWrite(const std::string &path);
+
+    /**
      * Create an anonymous spill file in @p dir (empty = $TMPDIR or
      * /tmp).  Trailing slashes in the directory are normalized away;
      * when the $TMPDIR-derived default is unwritable the file falls
@@ -172,6 +180,40 @@ class ByteFile
     RetryPolicy retry_;
     std::unique_ptr<Counters> counters_;
 };
+
+/**
+ * fsync a directory so that entries created, renamed or unlinked in
+ * it survive a crash.  POSIX only guarantees a new (or renamed) name
+ * is durable once its *parent directory* has been synced; fdatasync
+ * on the file alone leaves the name itself volatile.
+ */
+void syncDirectory(const std::string &dir);
+
+/**
+ * syncDirectory() on the parent of @p path.  A path without a slash
+ * syncs the current directory.  No-op for an empty path (unlinked
+ * spill files have no name to make durable).
+ */
+void syncParentDirectory(const std::string &path);
+
+/** mkdir -p: create @p dir and any missing ancestors (mode 0755). */
+void createDirectories(const std::string &dir);
+
+/** True when @p path names an existing filesystem entry. */
+bool fileExists(const std::string &path);
+
+/**
+ * Unlink @p path if it exists; returns true when a file was removed.
+ * Missing files are not an error (idempotent cleanup).
+ */
+bool removeFileIfExists(const std::string &path);
+
+/**
+ * Atomically rename @p from onto @p to (replacing it), then fsync the
+ * destination's parent directory so the new name is durable.  This is
+ * the commit step of the write-temp / fdatasync / rename protocol.
+ */
+void renameReplace(const std::string &from, const std::string &to);
 
 } // namespace bonsai::io
 

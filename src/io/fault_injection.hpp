@@ -33,6 +33,8 @@
 #include <cerrno>
 #include <cstdint>
 
+#include <unistd.h>
+
 #include "io/byte_io.hpp"
 
 namespace bonsai::io
@@ -64,6 +66,18 @@ struct FaultPlan {
 
     /** Nonzero: every sync attempt fails with this errno. */
     int failSyncWith = 0;
+
+    /**
+     * CrashPoints: _exit(137) — SIGKILL's exit code, no destructors,
+     * no flushes — the instant the 1-based read / write / sync
+     * attempt counter reaches this index (0 = off).  The crash-injection
+     * harness forks the sort, installs an injector with one of these
+     * set, and sweeps the index across the attempt sequence to model a
+     * process killed at every interesting I/O boundary.
+     */
+    std::uint64_t crashOnReadAttempt = 0;
+    std::uint64_t crashOnWriteAttempt = 0;
+    std::uint64_t crashOnSyncAttempt = 0;
 };
 
 /** Deterministic FaultPolicy; see the file comment for semantics. */
@@ -76,6 +90,12 @@ class FaultInjector final : public FaultPolicy
     {
         FaultAction act;
         if (op.kind == FaultOp::Kind::Sync) {
+            const std::uint64_t idx =
+                1 + syncAttempts_.fetch_add(
+                        1, std::memory_order_relaxed);
+            if (plan_.crashOnSyncAttempt != 0 &&
+                idx == plan_.crashOnSyncAttempt)
+                ::_exit(137);
             if (plan_.failSyncWith != 0) {
                 injectedSyncFailures_.fetch_add(
                     1, std::memory_order_relaxed);
@@ -87,6 +107,11 @@ class FaultInjector final : public FaultPolicy
         const std::uint64_t idx =
             1 + (isRead ? readAttempts_ : writeAttempts_)
                     .fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t crashAt = isRead
+                                          ? plan_.crashOnReadAttempt
+                                          : plan_.crashOnWriteAttempt;
+        if (crashAt != 0 && idx == crashAt)
+            ::_exit(137);
         if (!isRead && plan_.enospcAtWriteByte != FaultPlan::kNoEnospc &&
             op.offset + op.bytes > plan_.enospcAtWriteByte) {
             injectedEnospc_.fetch_add(1, std::memory_order_relaxed);
@@ -139,6 +164,22 @@ class FaultInjector final : public FaultPolicy
         return injectedSyncFailures_.load(std::memory_order_relaxed);
     }
 
+    /** Attempt totals, for sizing a crash-point sweep: a counting run
+     *  with no faults reports how many attempts of each kind one sort
+     *  issues, and the sweep picks crash indices inside that range. */
+    std::uint64_t readAttempts() const
+    {
+        return readAttempts_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t writeAttempts() const
+    {
+        return writeAttempts_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t syncAttempts() const
+    {
+        return syncAttempts_.load(std::memory_order_relaxed);
+    }
+
   private:
     /** splitmix64 finalizer: cheap, stateless, well mixed. */
     static std::uint64_t mix(std::uint64_t z)
@@ -152,6 +193,7 @@ class FaultInjector final : public FaultPolicy
     FaultPlan plan_;
     std::atomic<std::uint64_t> readAttempts_{0};
     std::atomic<std::uint64_t> writeAttempts_{0};
+    std::atomic<std::uint64_t> syncAttempts_{0};
     std::atomic<std::uint64_t> injectedShort_{0};
     std::atomic<std::uint64_t> injectedEintr_{0};
     std::atomic<std::uint64_t> injectedEio_{0};

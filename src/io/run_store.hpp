@@ -230,6 +230,86 @@ class FileRunStore : public RunStore<RecordT>
     ByteFile file_;
 };
 
+/**
+ * SSD-backed store over a *named* spill file that survives the
+ * process: the checkpointed sort's store.  Where FileRunStore unlinks
+ * its name at birth (storage dies with the descriptor), a
+ * PersistentRunStore keeps the name under a job directory so a
+ * resumed attempt can reopen the same bytes.  Fresh mode creates or
+ * truncates; resume mode opens without truncation, preserving
+ * whatever a previous attempt already made durable.
+ *
+ * Same lock-free contract as FileRunStore: positioned pread/pwrite on
+ * disjoint ranges, relaxed traffic counters, single-writer metadata.
+ */
+template <typename RecordT>
+class PersistentRunStore : public RunStore<RecordT>
+{
+    static_assert(std::is_trivially_copyable_v<RecordT>);
+
+  public:
+    /** @param path   Spill file path (inside the job directory).
+     *  @param resume Keep existing bytes (true) or start empty. */
+    explicit PersistentRunStore(const std::string &path,
+                                bool resume = false)
+        : file_(resume ? ByteFile::openReadWrite(path)
+                       : ByteFile::create(path))
+    {
+    }
+
+    void
+    writeAt(std::uint64_t offset, const RecordT *src,
+            std::uint64_t count,
+            const char *context = nullptr) override
+    {
+        file_.writeAt(offset * sizeof(RecordT), src,
+                      count * sizeof(RecordT), context);
+        this->countWrite(count * sizeof(RecordT));
+    }
+
+    void
+    readAt(std::uint64_t offset, RecordT *dst, std::uint64_t count,
+           const char *context = nullptr) const override
+    {
+        file_.readAt(offset * sizeof(RecordT), dst,
+                     count * sizeof(RecordT), context);
+        this->countRead(count * sizeof(RecordT));
+    }
+
+    void
+    flush(const char *context = nullptr) override
+    {
+        file_.sync(context);
+    }
+
+    IoRetryStats retryStats() const override
+    {
+        return file_.retryStats();
+    }
+
+    const std::string &path() const { return file_.path(); }
+
+    /** Current spill file size in bytes (resume-validation input). */
+    std::uint64_t sizeBytes() const { return file_.sizeBytes(); }
+
+    /** Inject faults into the spill file (tests; nullptr = off). */
+    void
+    setFaultPolicy(std::shared_ptr<FaultPolicy> policy)
+    {
+        file_.setFaultPolicy(std::move(policy));
+    }
+
+    /** Replace the spill file's transient-error retry schedule. */
+    void
+    setRetryPolicy(const RetryPolicy &policy)
+    {
+        file_.setRetryPolicy(policy);
+    }
+
+  private:
+    ByteFile file_;
+};
+
 /** Sink adapter writing sequentially into a store at a base offset —
  *  lets the merge writer target a store and the final-output sink
  *  through one interface.  Stores are positioned by nature, so the

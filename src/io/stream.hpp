@@ -66,6 +66,32 @@ class RecordSource
 
     /** Read up to @p max records into @p dst; 0 means exhausted. */
     virtual std::uint64_t read(RecordT *dst, std::uint64_t max) = 0;
+
+    /**
+     * Discard the next @p count records (resume path: input already
+     * consumed by a previous attempt is not re-read).  The default
+     * reads into a bounded scratch buffer; positioned sources override
+     * with an O(1) cursor advance.  Returns the records skipped —
+     * fewer than @p count only when the source is exhausted.
+     */
+    virtual std::uint64_t
+    skip(std::uint64_t count)
+    {
+        constexpr std::uint64_t kScratchRecords = 1024;
+        std::vector<RecordT> scratch(
+            static_cast<std::size_t>(std::min(count, kScratchRecords)));
+        std::uint64_t done = 0;
+        while (done < count) {
+            const std::uint64_t got =
+                read(scratch.data(),
+                     std::min<std::uint64_t>(count - done,
+                                             scratch.size()));
+            if (got == 0)
+                break;
+            done += got;
+        }
+        return done;
+    }
 };
 
 /** Sequential record consumer. */
@@ -178,6 +204,15 @@ class MemorySource : public RecordSource<RecordT>
         return n;
     }
 
+    std::uint64_t
+    skip(std::uint64_t count) override
+    {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(count, data_.size() - pos_);
+        pos_ += n;
+        return n;
+    }
+
   private:
     std::span<const RecordT> data_;
     std::uint64_t pos_ = 0;
@@ -259,6 +294,15 @@ class FileSource : public RecordSource<RecordT>
         return n;
     }
 
+    std::uint64_t
+    skip(std::uint64_t count) override
+    {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(count, total_ - pos_);
+        pos_ += n;
+        return n;
+    }
+
   private:
     ByteFile file_;
     std::uint64_t total_ = 0;
@@ -305,13 +349,16 @@ class FileSink : public RecordSink<RecordT>
                       "final-pass segment write");
     }
 
-    /** Durability point: fdatasync the finished output so write-back
-     *  errors and delayed-allocation ENOSPC fail the sort call rather
-     *  than surfacing after process exit. */
+    /** Durability point: fdatasync the finished output, then fsync
+     *  its parent directory — a freshly created name is only durable
+     *  once the directory entry itself is on the device.  Surfaces
+     *  write-back errors and delayed-allocation ENOSPC inside the
+     *  sort call rather than after process exit. */
     void
     finish() override
     {
         file_.sync("finishing output sink");
+        syncParentDirectory(file_.path());
     }
 
     std::uint64_t recordsWritten() const { return pos_; }

@@ -51,7 +51,14 @@ namespace bonsai::pipeline
 {
 
 /** One sort's endpoints: all referenced objects must outlive
- *  SortService::run and belong to this job alone. */
+ *  SortService::run and belong to this job alone.
+ *
+ *  A job with a non-empty checkpointDir runs crash-consistently: its
+ *  spills live in named files under that directory (front/back are
+ *  ignored and may be null) and a rerun of the service resumes the
+ *  job from its last committed chunk or merge pass.  Checkpoint
+ *  directories must be distinct across jobs — the job directory IS
+ *  the job's identity on disk. */
 template <typename RecordT>
 struct SortJob
 {
@@ -59,6 +66,10 @@ struct SortJob
     io::RecordSink<RecordT> *sink = nullptr;
     io::RunStore<RecordT> *front = nullptr;
     io::RunStore<RecordT> *back = nullptr;
+    std::string checkpointDir; ///< "" = classic anonymous spills
+    /** Fail (instead of falling back fresh) when the checkpoint is
+     *  missing or invalid.  Only meaningful with checkpointDir. */
+    bool resume = false;
 };
 
 template <typename RecordT>
@@ -107,6 +118,19 @@ class SortService
                 "sort-job-" + std::to_string(i),
                 [&engine, &job, &result, &bufs,
                  allowance](StageStats &) {
+                    if (!job.checkpointDir.empty()) {
+                        typename sorter::StreamEngine<
+                            RecordT>::DurableOptions durable;
+                        durable.dir = job.checkpointDir;
+                        durable.policy =
+                            job.resume
+                                ? sorter::ResumePolicy::ResumeStrict
+                                : sorter::ResumePolicy::ResumeOrFresh;
+                        result = engine.sortStreamSharedDurable(
+                            *job.source, *job.sink, bufs, allowance,
+                            /* exclusive_pool = */ false, durable);
+                        return;
+                    }
                     result = engine.sortStreamShared(
                         *job.source, *job.sink, *job.front,
                         *job.back, bufs, allowance,

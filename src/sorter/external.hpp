@@ -65,6 +65,7 @@
 #include "io/run_store.hpp"
 #include "io/stream.hpp"
 #include "sorter/behavioral.hpp"
+#include "sorter/checkpoint.hpp"
 #include "sorter/merge_plan.hpp"
 #include "sorter/phase1_spill.hpp"
 #include "sorter/phase2_merge.hpp"
@@ -88,6 +89,17 @@ class StreamEngine
         std::uint64_t batchRecords = 1 << 14;   ///< b, in records
         std::uint64_t bufferBudgetBytes = 64ULL << 20;
         unsigned threads = 1;
+    };
+
+    /** Crash-consistency knobs of a durable (checkpointed) sort. */
+    struct DurableOptions
+    {
+        std::string dir; ///< job directory for spills + manifest
+        ResumePolicy policy = ResumePolicy::ResumeOrFresh;
+        /** Installed on the job's spill files and manifest commits
+         *  (tests; nullptr = off). */
+        std::shared_ptr<io::FaultPolicy> faultPolicy;
+        io::RetryPolicy retryPolicy;
     };
 
     explicit StreamEngine(Options opt) : opt_(opt)
@@ -215,6 +227,79 @@ class StreamEngine
                      std::uint64_t allowance,
                      bool exclusive_pool) const
     {
+        return sortStreamImpl(source, sink, front, back, bufs,
+                              allowance, exclusive_pool, nullptr);
+    }
+
+    /**
+     * Durable (checkpointed) sort: spills live in named files under
+     * @p durable.dir next to a versioned, checksummed job manifest
+     * committed after every phase-1 chunk and every non-final merge
+     * pass.  A re-invocation after a crash resumes from the last
+     * committed unit of work (per @p durable.policy) and produces
+     * output byte-identical to an uninterrupted run; the resume
+     * telemetry lands in StreamStats::resumedChunks / resumedPasses /
+     * manifestCommits / resumeFallback.
+     *
+     * The caller recreates @p source and @p sink on every attempt —
+     * the sink is truncated and fully rewritten by the (never
+     * journaled) final pass.  Artifacts stay in the job directory
+     * after success; callers that own the directory lifecycle (the
+     * file_sorter tool) delete them once the output is durable.
+     */
+    StreamStats
+    sortStreamDurable(io::RecordSource<RecordT> &source,
+                      io::RecordSink<RecordT> &sink,
+                      const DurableOptions &durable) const
+    {
+        if (source.totalRecords() == 0) {
+            StreamStats stats;
+            stats.batchRecords = opt_.batchRecords;
+            sink.finish();
+            return stats;
+        }
+        io::BufferPool<RecordT> bufs(opt_.batchRecords,
+                                     opt_.bufferBudgetBytes);
+        return sortStreamSharedDurable(source, sink, bufs,
+                                       bufs.buffers(),
+                                       /* exclusive_pool = */ true,
+                                       durable);
+    }
+
+    /** Shared-pool variant of sortStreamDurable (the SortService
+     *  packing contract of sortStreamShared, plus a checkpoint). */
+    StreamStats
+    sortStreamSharedDurable(io::RecordSource<RecordT> &source,
+                            io::RecordSink<RecordT> &sink,
+                            io::BufferPool<RecordT> &bufs,
+                            std::uint64_t allowance,
+                            bool exclusive_pool,
+                            const DurableOptions &durable) const
+    {
+        typename Checkpointer<RecordT>::Config cfg;
+        cfg.dir = durable.dir;
+        cfg.policy = durable.policy;
+        cfg.params = manifestParams(source.totalRecords());
+        cfg.verifyBatchRecords = opt_.batchRecords;
+        cfg.faultPolicy = durable.faultPolicy;
+        cfg.retryPolicy = durable.retryPolicy;
+        Checkpointer<RecordT> ckpt(std::move(cfg));
+        return sortStreamImpl(source, sink, ckpt.front(), ckpt.back(),
+                              bufs, allowance, exclusive_pool, &ckpt);
+    }
+
+  private:
+    /** The one streamed-sort body; @p ckpt == nullptr runs it
+     *  unjournaled (the classic anonymous-spill path). */
+    StreamStats
+    sortStreamImpl(io::RecordSource<RecordT> &source,
+                   io::RecordSink<RecordT> &sink,
+                   io::RunStore<RecordT> &front,
+                   io::RunStore<RecordT> &back,
+                   io::BufferPool<RecordT> &bufs,
+                   std::uint64_t allowance, bool exclusive_pool,
+                   Checkpointer<RecordT> *ckpt) const
+    {
         StreamStats stats;
         stats.recordsIn = source.totalRecords();
         stats.batchRecords = opt_.batchRecords;
@@ -241,17 +326,24 @@ class StreamEngine
         // sees exactly one exception no matter how many lanes failed.
         ErrorTrap trap;
         try {
-            typename Phase1Spiller<RecordT>::Params p1;
-            p1.phase1Ell = opt_.phase1Ell;
-            p1.presortRun = opt_.presortRun;
-            p1.batchRecords = opt_.batchRecords;
-            p1.threads = opt_.threads;
-            Phase1Spiller<RecordT>::run(source, front, pool, p1,
-                                        chunkLength(stats.recordsIn),
-                                        stats, trap);
+            if (ckpt == nullptr || !ckpt->phase1Complete()) {
+                typename Phase1Spiller<RecordT>::Params p1;
+                p1.phase1Ell = opt_.phase1Ell;
+                p1.presortRun = opt_.presortRun;
+                p1.batchRecords = opt_.batchRecords;
+                p1.threads = opt_.threads;
+                Phase1Spiller<RecordT>::run(
+                    source, front, pool, p1,
+                    chunkLength(stats.recordsIn), stats, trap, ckpt);
+            } else {
+                // Every chunk is journaled: phase 1 is pure replayed
+                // history, with its runs already installed on the
+                // journal's current store.
+                stats.phase1Chunks = ckpt->chunksDone();
+            }
             Phase2Merger<RecordT> merger(bufs, lanes, pool, trap,
                                          shape.ell);
-            merger.run(front, back, sink, stats);
+            merger.run(front, back, sink, stats, ckpt);
         } catch (...) {
             trap.store(std::current_exception());
         }
@@ -268,6 +360,12 @@ class StreamEngine
         stats.ioEintrRetries = retries.eintrRetries;
         stats.ioShortTransfers = retries.shortTransfers;
         stats.secondaryErrors = trap.secondaryCount();
+        if (ckpt != nullptr) {
+            stats.resumedChunks = ckpt->resumedChunks();
+            stats.resumedPasses = ckpt->resumedPasses();
+            stats.manifestCommits = ckpt->commits();
+            stats.resumeFallback = ckpt->fallbackReason();
+        }
         lastSecondaryErrors_.store(stats.secondaryErrors,
                                    std::memory_order_relaxed);
         lastPoolOutstanding_.store(bufs.outstanding(),
@@ -280,6 +378,7 @@ class StreamEngine
         return stats;
     }
 
+  public:
     /** Pool buffers still outstanding when the last sortStream on
      *  this engine returned or threw — 0 unless the unwind leaked
      *  (tests assert this after injected faults). */
@@ -303,6 +402,23 @@ class StreamEngine
         if (opt_.chunkRecords == 0)
             return total;
         return std::min<std::uint64_t>(opt_.chunkRecords, total);
+    }
+
+    /** The parameter echo a job manifest carries: everything chunk
+     *  geometry and pass structure are a function of, so a resume
+     *  against a changed request is refused instead of corrupting. */
+    io::ManifestParams
+    manifestParams(std::uint64_t records_in) const
+    {
+        io::ManifestParams p;
+        p.recordBytes = sizeof(RecordT);
+        p.recordsIn = records_in;
+        p.chunkRecords = chunkLength(records_in);
+        p.batchRecords = opt_.batchRecords;
+        p.phase1Ell = opt_.phase1Ell;
+        p.phase2Ell = opt_.phase2Ell;
+        p.bufferBudgetBytes = opt_.bufferBudgetBytes;
+        return p;
     }
 
     static double

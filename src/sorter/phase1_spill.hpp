@@ -48,6 +48,7 @@
 #include "pipeline/queue.hpp"
 #include "pipeline/stage.hpp"
 #include "sorter/behavioral.hpp"
+#include "sorter/checkpoint.hpp"
 #include "sorter/stream_stats.hpp"
 
 namespace bonsai::sorter
@@ -72,26 +73,49 @@ class Phase1Spiller
      * Fills the phase-1 fields of @p stats; the primary error of a
      * failing run lands in @p trap and is rethrown from here once the
      * pipeline has quiesced.
+     *
+     * With a @p ckpt the phase resumes: chunks the journal already
+     * records are skipped in the source (never re-read, never
+     * re-sorted), their runs are adopted, and every newly spilled
+     * chunk is committed to the journal before the next one starts.
      */
     static void
     run(io::RecordSource<RecordT> &source,
         io::RunStore<RecordT> &store, ThreadPool &compute,
         const Params &par, std::uint64_t chunk, StreamStats &stats,
-        ErrorTrap &trap)
+        ErrorTrap &trap, Checkpointer<RecordT> *ckpt = nullptr)
     {
         const auto t1 = std::chrono::steady_clock::now();
         const std::uint64_t total = source.totalRecords();
+        const std::uint64_t base_index = ckpt ? ckpt->chunksDone() : 0;
+        const std::uint64_t start = base_index * chunk;
+        if (start > 0) {
+            // Input already spilled by the previous attempt: skip it
+            // (O(1) on positioned sources).  A source shorter than
+            // the journaled prefix is not the input the checkpoint
+            // was taken against — fail in every build type.
+            const std::uint64_t skipped = source.skip(start);
+            if (skipped != start)
+                contracts::fail(
+                    "precondition", "source.skip(start) == start",
+                    __FILE__, __LINE__,
+                    "record source ended after " +
+                        std::to_string(skipped) + " of the " +
+                        std::to_string(start) +
+                        " records the checkpoint already spilled");
+        }
 
         pipeline::BoundedQueue<Chunk> free(2);
         pipeline::BoundedQueue<Chunk> loaded(2);
         pipeline::BoundedQueue<Chunk> sorted(2);
         // Seed the ring: one buffer when a single chunk covers the
-        // input, two otherwise (the historical memory bound).
+        // remaining input, two otherwise (the historical memory
+        // bound).
         {
             Chunk c;
             c.buf.resize(chunk);
             free.push(std::move(c));
-            if (chunk < total) {
+            if (chunk < total - start) {
                 Chunk d;
                 d.buf.resize(chunk);
                 free.push(std::move(d));
@@ -99,9 +123,11 @@ class Phase1Spiller
         }
 
         Reader reader(source, free, loaded, par.batchRecords, total,
-                      chunk);
+                      chunk, start, base_index);
         Sorter sorter(loaded, sorted, compute, par);
-        Spiller spiller(sorted, free, store);
+        Spiller spiller(sorted, free, store, ckpt);
+        if (ckpt && ckpt->resumed())
+            spiller.seedResumedRuns(store.runs());
         pipeline::Stage *stages[] = {&reader, &sorter, &spiller};
         const std::vector<pipeline::StageStats> stage_stats =
             pipeline::PipelineExecutor::run(
@@ -147,18 +173,20 @@ class Phase1Spiller
                pipeline::BoundedQueue<Chunk> &free,
                pipeline::BoundedQueue<Chunk> &loaded,
                std::uint64_t batch, std::uint64_t total,
-               std::uint64_t chunk)
+               std::uint64_t chunk, std::uint64_t start = 0,
+               std::uint64_t base_index = 0)
             : pipeline::Stage("phase1-reader"), source_(&source),
               free_(&free), loaded_(&loaded), batch_(batch),
-              total_(total), chunk_(chunk)
+              total_(total), chunk_(chunk), start_(start),
+              baseIndex_(base_index)
         {
         }
 
         void
         run(pipeline::StageStats &stats) override
         {
-            std::uint64_t offset = 0;
-            std::uint64_t index = 0;
+            std::uint64_t offset = start_;
+            std::uint64_t index = baseIndex_;
             while (offset < total_) {
                 Chunk c = *pipeline::pull(*free_, stats);
                 c.offset = offset;
@@ -200,6 +228,8 @@ class Phase1Spiller
         std::uint64_t batch_;
         std::uint64_t total_;
         std::uint64_t chunk_;
+        std::uint64_t start_;
+        std::uint64_t baseIndex_;
     };
 
     /** Stage 2: sort each chunk in place on the compute pool (a
@@ -247,10 +277,19 @@ class Phase1Spiller
       public:
         Spiller(pipeline::BoundedQueue<Chunk> &sorted,
                 pipeline::BoundedQueue<Chunk> &free,
-                io::RunStore<RecordT> &store)
+                io::RunStore<RecordT> &store,
+                Checkpointer<RecordT> *ckpt = nullptr)
             : pipeline::Stage("phase1-spiller"), sorted_(&sorted),
-              free_(&free), store_(&store)
+              free_(&free), store_(&store), ckpt_(ckpt)
         {
+        }
+
+        /** Adopt the resumed attempt's runs (in chunk order) so the
+         *  final run list covers the whole input. */
+        void
+        seedResumedRuns(const std::vector<RunSpan> &runs)
+        {
+            runs_ = runs;
         }
 
         void
@@ -262,7 +301,12 @@ class Phase1Spiller
                     std::to_string(c->index);
                 store_->writeAt(c->offset, c->buf.data(), c->len,
                                 ctx.c_str());
-                runs_.push_back(RunSpan{c->offset, c->len});
+                const RunSpan run{c->offset, c->len};
+                runs_.push_back(run);
+                // Journal the chunk before its buffer recycles: once
+                // committed, a crash anywhere later never redoes it.
+                if (ckpt_ != nullptr)
+                    ckpt_->commitChunk(run);
                 pipeline::emit(*free_, std::move(*c), stats);
             }
         }
@@ -280,6 +324,7 @@ class Phase1Spiller
         pipeline::BoundedQueue<Chunk> *sorted_;
         pipeline::BoundedQueue<Chunk> *free_;
         io::RunStore<RecordT> *store_;
+        Checkpointer<RecordT> *ckpt_;
         std::vector<RunSpan> runs_;
     };
 };

@@ -37,6 +37,7 @@
 #include "io/buffer_pool.hpp"
 #include "io/run_store.hpp"
 #include "io/stream.hpp"
+#include "sorter/checkpoint.hpp"
 #include "sorter/merge_plan.hpp"
 #include "sorter/run_cursor.hpp"
 #include "sorter/splitter.hpp"
@@ -69,15 +70,27 @@ class Phase2Merger
     }
 
     /** Merge passes from @p front/@p back into @p sink; fills the
-     *  phase-2 fields of @p stats. */
+     *  phase-2 fields of @p stats.
+     *
+     *  With a @p ckpt the pass sequence is re-entrant: it starts from
+     *  whichever store the journal says holds the live runs (passes a
+     *  previous attempt completed are never redone — StagePlan is
+     *  deterministic in the run list, so the remaining sequence is
+     *  identical), and every completed non-final pass is committed.
+     *  The final pass is not journaled: its output lands in the
+     *  caller's sink, which a resumed attempt recreates, so it is
+     *  simply redone. */
     void
     run(io::RunStore<RecordT> &front, io::RunStore<RecordT> &back,
-        io::RecordSink<RecordT> &sink, StreamStats &stats)
+        io::RecordSink<RecordT> &sink, StreamStats &stats,
+        Checkpointer<RecordT> *ckpt = nullptr)
     {
         const auto t2 = std::chrono::steady_clock::now();
-        io::RunStore<RecordT> *src = &front;
-        io::RunStore<RecordT> *dst = &back;
+        io::RunStore<RecordT> *stores[2] = {&front, &back};
+        unsigned srcIdx = ckpt ? ckpt->currentStore() : 0;
         for (;;) {
+            io::RunStore<RecordT> *src = stores[srcIdx];
+            io::RunStore<RecordT> *dst = stores[1 - srcIdx];
             const StagePlan plan(src->runs(), ell_);
             if (plan.groups() == 1) {
                 finalPass(*src, plan.groupRuns(0), sink, stats);
@@ -92,7 +105,9 @@ class Phase2Merger
             ++stats.mergePasses;
             dst->setRuns(out);
             src->setRuns({});
-            std::swap(src, dst);
+            if (ckpt != nullptr)
+                ckpt->commitPass(1 - srcIdx, out);
+            srcIdx = 1 - srcIdx;
         }
         sink.finish();
         stats.phase2Seconds +=

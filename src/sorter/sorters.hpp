@@ -238,6 +238,17 @@ class SsdSorter
         std::uint64_t batchRecords = 0;
         /** Spill directory for run files ("" = $TMPDIR or /tmp). */
         std::string spillDir;
+        /** Job directory for crash-consistent checkpointing ("" =
+         *  off).  When set, spills are named files under this
+         *  directory next to a durable job manifest, and a rerun of
+         *  the same request resumes from the last committed chunk or
+         *  merge pass. */
+        std::string checkpointDir;
+        /** With checkpointDir: require a valid checkpoint and fail
+         *  with the validation reason when there is none (the
+         *  --resume contract).  false = resume when valid, loud
+         *  fresh fallback otherwise. */
+        bool resume = false;
     };
 
     /**
@@ -342,11 +353,22 @@ class SsdSorter
                                            threads_);
         eng.threads = threads_;
 
-        io::FileRunStore<RecordT> front(opts.spillDir);
-        io::FileRunStore<RecordT> back(opts.spillDir);
         const auto start = std::chrono::steady_clock::now();
-        report.stream = StreamEngine<RecordT>(eng).sortStream(
-            source, sink, front, back);
+        if (!opts.checkpointDir.empty()) {
+            typename StreamEngine<RecordT>::DurableOptions durable;
+            durable.dir = opts.checkpointDir;
+            durable.policy = opts.resume
+                                 ? ResumePolicy::ResumeStrict
+                                 : ResumePolicy::ResumeOrFresh;
+            report.stream = StreamEngine<RecordT>(eng)
+                                .sortStreamDurable(source, sink,
+                                                   durable);
+        } else {
+            io::FileRunStore<RecordT> front(opts.spillDir);
+            io::FileRunStore<RecordT> back(opts.spillDir);
+            report.stream = StreamEngine<RecordT>(eng).sortStream(
+                source, sink, front, back);
+        }
         report.hostSeconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start)

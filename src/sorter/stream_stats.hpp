@@ -12,6 +12,7 @@
 #define BONSAI_SORTER_STREAM_STATS_HPP
 
 #include <cstdint>
+#include <string>
 
 namespace bonsai::sorter
 {
@@ -51,6 +52,14 @@ struct StreamStats
     std::uint64_t ioShortTransfers = 0;   ///< partial, resumed
     /** Errors suppressed behind the first (propagated) one. */
     std::uint64_t secondaryErrors = 0;
+    /** Crash-consistency telemetry (checkpointed sorts only; all
+     *  zero / empty when the sort ran without a job directory). */
+    std::uint64_t resumedChunks = 0;  ///< phase-1 chunks not redone
+    std::uint64_t resumedPasses = 0;  ///< merge passes not redone
+    std::uint64_t manifestCommits = 0; ///< durable journal commits
+    /** Why a requested resume fell back to a fresh start ("" = it
+     *  did not: either a clean resume or a fresh job). */
+    std::string resumeFallback;
 
     friend bool operator==(const StreamStats &,
                            const StreamStats &) = default;

@@ -15,6 +15,8 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <sys/wait.h>
+#include <unistd.h>
 #include <vector>
 
 #include "common/record.hpp"
@@ -299,6 +301,56 @@ TEST(FaultInjection, CreateTempFallsBackToTmpWhenTmpdirIsUnusable)
     else
         ::unsetenv("TMPDIR"); // NOLINT(concurrency-mt-unsafe): single-threaded test
     EXPECT_EQ(msg, "") << msg;
+}
+
+TEST(FaultInjection, AttemptCountersSeeEveryIoAttempt)
+{
+    // The crash-sweep tests size their sweep from a counting run:
+    // the injector must tally every read, write and sync attempt
+    // even when it injects nothing.
+    ByteFile file = ByteFile::createTemp();
+    auto injector = std::make_shared<FaultInjector>(FaultPlan{});
+    file.setFaultPolicy(injector);
+
+    const auto bytes = patternBytes(4096);
+    file.writeAt(0, bytes.data(), bytes.size());
+    file.writeAt(4096, bytes.data(), bytes.size());
+    file.sync();
+    std::vector<unsigned char> got(bytes.size());
+    file.readAt(0, got.data(), got.size());
+
+    EXPECT_EQ(injector->writeAttempts(), 2u);
+    EXPECT_EQ(injector->readAttempts(), 1u);
+    EXPECT_EQ(injector->syncAttempts(), 1u);
+}
+
+TEST(FaultInjection, CrashPointKillsTheProcessAtTheExactAttempt)
+{
+    // The crash seam is _exit(137) — only observable across fork().
+    // The child must survive attempt 1 and die inside attempt 2
+    // without the write landing.
+    TempPath spill("crash_point.bin");
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: no gtest, no exceptions out — just the crash.
+        ByteFile file = ByteFile::create(spill.str());
+        FaultPlan plan;
+        plan.crashOnWriteAttempt = 2;
+        file.setFaultPolicy(std::make_shared<FaultInjector>(plan));
+        const auto bytes = patternBytes(512);
+        file.writeAt(0, bytes.data(), bytes.size());
+        file.writeAt(512, bytes.data(), bytes.size());
+        ::_exit(0); // not reached: attempt 2 crashed
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 137);
+
+    // Attempt 1 landed before the crash; attempt 2 never did.
+    ByteFile file = ByteFile::openRead(spill.str());
+    EXPECT_EQ(file.sizeBytes(), 512u);
 }
 
 } // namespace

@@ -1,0 +1,284 @@
+/** @file
+ * Unit tests for the durable job manifest: the crc32 primitive, the
+ * save/load round trip, and — most importantly — the corruption
+ * matrix.  Every way a manifest can be wrong (missing, torn tail,
+ * foreign magic, future version, flipped body bits, checksummed-but-
+ * inconsistent body, parameter drift) must map to its own distinct
+ * status and one-line message, because the resume path's "fall back
+ * loudly" contract is only as good as the diagnosis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "io/byte_io.hpp"
+#include "io/manifest.hpp"
+
+namespace bonsai::io
+{
+namespace
+{
+
+/** Job directory scoped to one test: created on construction, known
+ *  artifacts removed and the directory unlinked on destruction. */
+class JobDir
+{
+  public:
+    explicit JobDir(const std::string &name)
+        : dir_(::testing::TempDir() + name)
+    {
+        createDirectories(dir_);
+    }
+    ~JobDir()
+    {
+        removeJobArtifacts(dir_);
+        ::rmdir(dir_.c_str());
+    }
+    const std::string &str() const { return dir_; }
+
+  private:
+    std::string dir_;
+};
+
+ManifestParams
+sampleParams()
+{
+    ManifestParams p;
+    p.recordBytes = 16;
+    p.recordsIn = 24'000;
+    p.chunkRecords = 1'000;
+    p.batchRecords = 128;
+    p.phase1Ell = 4;
+    p.phase2Ell = 4;
+    p.bufferBudgetBytes = 1 << 20;
+    return p;
+}
+
+JobManifest
+sampleManifest()
+{
+    JobManifest m;
+    m.params = sampleParams();
+    m.chunksDone = 3;
+    m.phase1Complete = false;
+    m.currentStore = 1;
+    m.passesDone = 2;
+    m.runs = {{0, 1'000, 0xdeadbeefu},
+              {1'000, 1'000, 0x12345678u},
+              {2'000, 777, 0x0u}};
+    return m;
+}
+
+/** Overwrite one byte of the live manifest at @p offset. */
+void
+patchManifestByte(const std::string &dir, std::uint64_t offset,
+                  unsigned char value)
+{
+    ByteFile f = ByteFile::openReadWrite(manifestPath(dir));
+    f.writeAt(offset, &value, 1, "test patch");
+}
+
+TEST(Manifest, Crc32MatchesTheIeeeCheckValue)
+{
+    // The canonical CRC-32 check value: crc of "123456789".
+    const char *s = "123456789";
+    EXPECT_EQ(crc32Of(s, 9), 0xcbf43926u);
+
+    // Chained blocks finish to the same value as one shot.
+    std::uint32_t chained = crc32(s, 4);
+    chained = crc32(s + 4, 5, chained);
+    EXPECT_EQ(crc32Finish(chained), crc32Of(s, 9));
+}
+
+TEST(Manifest, SaveLoadRoundTripPreservesEveryField)
+{
+    JobDir job("manifest_roundtrip");
+    const JobManifest m = sampleManifest();
+    saveManifest(job.str(), m);
+
+    const ManifestLoadResult r = loadManifest(job.str());
+    ASSERT_EQ(r.status, ManifestStatus::Ok) << r.error;
+    EXPECT_TRUE(r.manifest.params == m.params);
+    EXPECT_EQ(r.manifest.chunksDone, m.chunksDone);
+    EXPECT_EQ(r.manifest.phase1Complete, m.phase1Complete);
+    EXPECT_EQ(r.manifest.currentStore, m.currentStore);
+    EXPECT_EQ(r.manifest.passesDone, m.passesDone);
+    ASSERT_EQ(r.manifest.runs.size(), m.runs.size());
+    for (std::size_t i = 0; i < m.runs.size(); ++i) {
+        EXPECT_EQ(r.manifest.runs[i].offset, m.runs[i].offset);
+        EXPECT_EQ(r.manifest.runs[i].length, m.runs[i].length);
+        EXPECT_EQ(r.manifest.runs[i].crc, m.runs[i].crc);
+    }
+}
+
+TEST(Manifest, CommitReplacesTheLiveManifestAtomically)
+{
+    JobDir job("manifest_replace");
+    JobManifest m = sampleManifest();
+    saveManifest(job.str(), m);
+    m.chunksDone = 9;
+    m.runs.clear();
+    saveManifest(job.str(), m);
+
+    const ManifestLoadResult r = loadManifest(job.str());
+    ASSERT_EQ(r.status, ManifestStatus::Ok) << r.error;
+    EXPECT_EQ(r.manifest.chunksDone, 9u);
+    EXPECT_TRUE(r.manifest.runs.empty());
+    // The rename consumed the temp file — no journal debris.
+    EXPECT_FALSE(
+        fileExists(job.str() + "/" + kManifestTempFileName));
+}
+
+TEST(Manifest, MissingManifestIsNotFoundNotAnError)
+{
+    JobDir job("manifest_missing");
+    const ManifestLoadResult r = loadManifest(job.str());
+    EXPECT_EQ(r.status, ManifestStatus::NotFound);
+    EXPECT_NE(r.error.find("no job manifest"), std::string::npos)
+        << r.error;
+}
+
+TEST(Manifest, TailTruncationIsDetectedAsTorn)
+{
+    JobDir job("manifest_torn");
+    saveManifest(job.str(), sampleManifest());
+    const std::uint64_t full =
+        ByteFile::openRead(manifestPath(job.str())).sizeBytes();
+
+    // Torn mid-body: the header survives but claims more bytes than
+    // the file holds.
+    ASSERT_EQ(
+        ::truncate(manifestPath(job.str()).c_str(),
+                   static_cast<off_t>(full - 7)),
+        0);
+    ManifestLoadResult r = loadManifest(job.str());
+    EXPECT_EQ(r.status, ManifestStatus::TornTail);
+    EXPECT_NE(r.error.find("torn"), std::string::npos) << r.error;
+
+    // Torn inside the header itself.
+    ASSERT_EQ(::truncate(manifestPath(job.str()).c_str(), 10), 0);
+    r = loadManifest(job.str());
+    EXPECT_EQ(r.status, ManifestStatus::TornTail);
+    EXPECT_NE(r.error.find("header"), std::string::npos) << r.error;
+}
+
+TEST(Manifest, FlippedBodyBitFailsTheChecksum)
+{
+    JobDir job("manifest_bitflip");
+    saveManifest(job.str(), sampleManifest());
+
+    // Byte 24 is the first body byte (24-byte header); flip it.
+    ByteFile f = ByteFile::openRead(manifestPath(job.str()));
+    unsigned char original = 0;
+    f.readAt(24, &original, 1, "test read");
+    patchManifestByte(job.str(), 24,
+                      static_cast<unsigned char>(original ^ 0x40u));
+
+    const ManifestLoadResult r = loadManifest(job.str());
+    EXPECT_EQ(r.status, ManifestStatus::CrcMismatch);
+    EXPECT_NE(r.error.find("checksum"), std::string::npos) << r.error;
+}
+
+TEST(Manifest, ForeignVersionIsRefusedByName)
+{
+    JobDir job("manifest_version");
+    saveManifest(job.str(), sampleManifest());
+
+    // The version field is the u32 right after the 8-byte magic.
+    patchManifestByte(job.str(), 8,
+                      static_cast<unsigned char>(kManifestVersion + 7));
+
+    const ManifestLoadResult r = loadManifest(job.str());
+    EXPECT_EQ(r.status, ManifestStatus::WrongVersion);
+    EXPECT_NE(r.error.find("version"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find(std::to_string(kManifestVersion + 7)),
+              std::string::npos)
+        << r.error;
+}
+
+TEST(Manifest, ForeignFileIsBadMagic)
+{
+    JobDir job("manifest_magic");
+    {
+        ByteFile f = ByteFile::create(manifestPath(job.str()));
+        const char junk[64] = "definitely not a job manifest";
+        f.writeAt(0, junk, sizeof(junk), "test junk");
+    }
+    const ManifestLoadResult r = loadManifest(job.str());
+    EXPECT_EQ(r.status, ManifestStatus::BadMagic);
+    EXPECT_NE(r.error.find("magic"), std::string::npos) << r.error;
+}
+
+TEST(Manifest, ChecksummedButInconsistentBodyIsMalformed)
+{
+    JobDir job("manifest_malformed");
+    // currentStore admits only 0 or 1; saveManifest checksums
+    // whatever it is given, so the CRC passes and only the
+    // structural check can catch it.
+    JobManifest m = sampleManifest();
+    m.currentStore = 2;
+    saveManifest(job.str(), m);
+
+    const ManifestLoadResult r = loadManifest(job.str());
+    EXPECT_EQ(r.status, ManifestStatus::Malformed);
+    EXPECT_NE(r.error.find("inconsistent"), std::string::npos)
+        << r.error;
+}
+
+TEST(Manifest, ParamMismatchNamesTheFirstDifferingField)
+{
+    const ManifestParams expected = sampleParams();
+    EXPECT_EQ(describeParamMismatch(expected, expected), "");
+
+    ManifestParams got = expected;
+    got.recordBytes = 32;
+    std::string msg = describeParamMismatch(expected, got);
+    EXPECT_NE(msg.find("record width"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("was 32"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("request has 16"), std::string::npos) << msg;
+
+    got = expected;
+    got.chunkRecords = 500;
+    msg = describeParamMismatch(expected, got);
+    EXPECT_NE(msg.find("chunk records"), std::string::npos) << msg;
+
+    got = expected;
+    got.recordsIn += 1;
+    msg = describeParamMismatch(expected, got);
+    EXPECT_NE(msg.find("input records"), std::string::npos) << msg;
+
+    got = expected;
+    got.phase2Ell = 8;
+    msg = describeParamMismatch(expected, got);
+    EXPECT_NE(msg.find("phase-2 fan-in"), std::string::npos) << msg;
+}
+
+TEST(Manifest, RemoveJobArtifactsClearsEveryFixedName)
+{
+    JobDir job("manifest_remove");
+    saveManifest(job.str(), sampleManifest());
+    for (const char *name :
+         {kManifestTempFileName, kFrontStoreFileName,
+          kBackStoreFileName}) {
+        ByteFile f = ByteFile::create(job.str() + "/" + name);
+        const char b = 'x';
+        f.writeAt(0, &b, 1, "test artifact");
+    }
+
+    removeJobArtifacts(job.str());
+    for (const char *name :
+         {kManifestFileName, kManifestTempFileName,
+          kFrontStoreFileName, kBackStoreFileName})
+        EXPECT_FALSE(fileExists(job.str() + "/" + name)) << name;
+    // Removing an already-clean directory is a no-op, not an error.
+    removeJobArtifacts(job.str());
+}
+
+} // namespace
+} // namespace bonsai::io

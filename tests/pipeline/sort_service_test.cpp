@@ -10,11 +10,15 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "common/contract.hpp"
 #include "common/random.hpp"
 #include "common/record.hpp"
+#include "io/byte_io.hpp"
+#include "io/manifest.hpp"
 #include "io/run_store.hpp"
 #include "io/stream.hpp"
 #include "pipeline/sort_service.hpp"
@@ -57,7 +61,12 @@ struct JobFixture
     SortJob<Record>
     job()
     {
-        return SortJob<Record>{&source, &sink, &front, &back};
+        SortJob<Record> j;
+        j.source = &source;
+        j.sink = &sink;
+        j.front = &front;
+        j.back = &back;
+        return j;
     }
 
     std::vector<Record> input;
@@ -174,6 +183,54 @@ TEST(SortService, EmptyJobListIsANoOp)
 {
     const SortService<Record> service(serviceOptions(2, 64));
     EXPECT_TRUE(service.run({}).empty());
+}
+
+TEST(SortService, CheckpointedJobsRunDurablyNextToClassicOnes)
+{
+    // A mixed batch: one classic job and one checkpointed job (named
+    // spills + manifest under its own directory) share the pool; the
+    // durable job must emit the same bytes as its serial reference
+    // and journal every chunk, and a rerun of the same job directory
+    // must adopt the journaled work instead of redoing it.
+    const std::string dir =
+        ::testing::TempDir() + "sort_service_ckpt_job";
+    io::createDirectories(dir);
+    const auto flood = makeRecords(12'000, Distribution::FewDistinct);
+    const auto random =
+        makeRecords(8'000, Distribution::UniformRandom);
+    const auto opt = serviceOptions(2, 64);
+    const auto expect_flood = serialReference(opt, flood);
+    const auto expect_random = serialReference(opt, random);
+
+    {
+        JobFixture a(flood);
+        JobFixture b(random);
+        SortJob<Record> durable = b.job();
+        durable.checkpointDir = dir;
+        const SortService<Record> service(opt);
+        const std::vector<StreamStats> results =
+            service.run({a.job(), durable});
+        EXPECT_EQ(a.output, expect_flood);
+        EXPECT_EQ(b.output, expect_random);
+        EXPECT_GT(results[1].manifestCommits, 0u);
+        EXPECT_EQ(results[1].resumedChunks, 0u);
+    }
+
+    // Same directory again, now with resume required: all journaled
+    // work is adopted, only the final pass is redone.
+    JobFixture b(random);
+    SortJob<Record> durable = b.job();
+    durable.checkpointDir = dir;
+    durable.resume = true;
+    const SortService<Record> service(opt);
+    const std::vector<StreamStats> results =
+        service.run({durable});
+    EXPECT_EQ(b.output, expect_random);
+    EXPECT_GT(results[0].resumedChunks, 0u);
+    EXPECT_EQ(results[0].manifestCommits, 0u);
+
+    io::removeJobArtifacts(dir);
+    ::rmdir(dir.c_str());
 }
 
 } // namespace
